@@ -1,0 +1,34 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every ``bench_figXX`` module regenerates one table/figure from the
+paper's evaluation: it builds the experiment's cell and workload, runs it
+under ``benchmark.pedantic`` (one deterministic round — these are
+simulations, not microbenchmarks), prints the figure's rows/series, and
+asserts the paper's comparative *shape* (who wins, by roughly what
+factor, where crossovers fall).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The experiment-harness primitives live in :mod:`repro.testing` so user
+studies can reuse them; this module only adds the benchmark glue.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+# Re-exported for the bench modules.
+from repro.testing import (cell_cpu_hosts, drive, key_with_primary_shard,
+                           measure_gets, preload_keys, run_closed_loop,
+                           total_cpu)
+
+__all__ = ["run_once", "drive", "preload_keys", "measure_gets",
+           "key_with_primary_shard", "total_cpu", "cell_cpu_hosts",
+           "run_closed_loop"]
+
+
+def run_once(benchmark, fn: Callable):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,104 @@
+"""Figure 6: CliqueMap performance by client language (§6.2).
+
+Three panels: (a) peak GET op rate, (b) CPU-us/op, (c) median latency at
+a fixed moderate rate. The native C++ client is fastest; Java/Go/Python
+shims pay marshal CPU plus named-pipe crossings to a C++ subprocess.
+Shape to hold: cpp > java > go > py on op rate; reversed on CPU and
+latency; even the slowest shim stays performance-competitive with a full
+RPC stack.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import drive, run_once
+
+from repro.analysis import render_table
+from repro.core import (Cell, CellSpec, LookupStrategy, ReplicationMode)
+from repro.shims import PROFILES, make_shim
+
+LANGUAGES = ["cpp", "java", "go", "py"]
+WORKERS = 4
+PEAK_OPS_PER_WORKER = 150
+PACED_OPS = 150
+PACED_INTERVAL = 1e-3  # 1K GETs/sec/client, as in Fig 6c
+
+
+def build_cell():
+    return Cell(CellSpec(mode=ReplicationMode.R1, num_shards=4,
+                         transport="pony"))
+
+
+def measure_language(language: str):
+    # Peak rate: WORKERS closed-loop workers sharing one shim/client.
+    cell = build_cell()
+    client = cell.connect_client()
+    shim = make_shim(client, language)
+    sim = cell.sim
+
+    def setup():
+        yield from shim.set(b"k", b"v" * 64)
+
+    drive(cell, setup())
+    cpu_before = client.host.ledger.total()
+    start = sim.now
+
+    def worker():
+        for _ in range(PEAK_OPS_PER_WORKER):
+            result = yield from shim.get(b"k")
+            assert result.hit
+
+    procs = [sim.process(worker()) for _ in range(WORKERS)]
+    sim.run(until=sim.all_of(procs))
+    elapsed = sim.now - start
+    total_ops = WORKERS * PEAK_OPS_PER_WORKER
+    op_rate = total_ops / elapsed
+    cpu_us = (client.host.ledger.total() - cpu_before) / total_ops * 1e6
+
+    # Paced latency: 1K GET/s, far from saturation.
+    cell2 = build_cell()
+    shim2 = make_shim(cell2.connect_client(), language)
+
+    def paced():
+        yield from shim2.set(b"k", b"v" * 64)
+        latencies = []
+        for _ in range(PACED_OPS):
+            t0 = cell2.sim.now
+            result = yield from shim2.get(b"k")
+            assert result.hit
+            latencies.append(cell2.sim.now - t0)
+            yield cell2.sim.timeout(PACED_INTERVAL)
+        latencies.sort()
+        return latencies[len(latencies) // 2]
+
+    median_latency = drive(cell2, paced())
+    return op_rate, cpu_us, median_latency * 1e6
+
+
+def run_experiment():
+    return {lang: measure_language(lang) for lang in LANGUAGES}
+
+
+def bench_fig06_client_languages(benchmark):
+    results = run_once(benchmark, run_experiment)
+    rows = [[lang, f"{rate:,.0f}", f"{cpu:.1f}", f"{lat:.1f}"]
+            for lang, (rate, cpu, lat) in results.items()]
+    print()
+    print(render_table(
+        "Fig 6: performance by client language",
+        ["language", "(a) op rate (GET/s)", "(b) CPU-us/op",
+         "(c) median latency (us)"], rows))
+
+    rate = {lang: r for lang, (r, _c, _l) in results.items()}
+    cpu = {lang: c for lang, (_r, c, _l) in results.items()}
+    latency = {lang: l for lang, (_r, _c, l) in results.items()}
+    # (a) op rate ordering: cpp fastest, py slowest.
+    assert rate["cpp"] > rate["java"] > rate["go"] > rate["py"]
+    # (b) CPU ordering reversed; the gap cpp->py spans well over an order
+    # of magnitude (the paper plots panel b on a log axis).
+    assert cpu["cpp"] < cpu["java"] < cpu["go"] < cpu["py"]
+    assert cpu["py"] > 10 * max(cpu["cpp"], 1e-9)
+    # (c) latency ordering: cpp lowest, py highest.
+    assert latency["cpp"] < latency["java"] < latency["go"] < latency["py"]

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Ads-style serving: batched, latency-critical lookups (§7.1, Fig 8).
+
+Reproduces the shape of the paper's Ads workload at laptop scale: an
+R=3.2 cell serving highly-batched topic lookups for ad auctions, with a
+steady write rate plus periodic backfill bursts. Prints the same series
+Figure 8 plots: GET/SET rates and latency percentiles over time.
+
+Run:  python examples/ads_serving.py
+"""
+
+from repro.analysis import render_percentile_lines, render_table
+from repro.workloads import AdsScenario, AdsWorkload
+
+
+def main():
+    scenario = AdsScenario(num_shards=6, num_clients=6, num_keys=1500,
+                           get_rate_per_client=3000.0,
+                           write_rate_per_client=50.0,
+                           backfill_period=1.0, duration=6.0)
+    workload = AdsWorkload(scenario)
+    print("preloading corpus ...")
+    workload.preload()
+    print(f"corpus installed; driving "
+          f"{scenario.get_rate_per_client * scenario.num_clients:.0f} "
+          f"GET/s for {scenario.duration:.0f}s (simulated)")
+    metrics = workload.run()
+
+    print(render_table(
+        "Ads workload summary", ["metric", "value"],
+        [["GETs", metrics.gets],
+         ["hit rate", f"{metrics.hit_rate * 100:.1f}%"],
+         ["GET errors", metrics.get_errors],
+         ["steady SETs", metrics.sets],
+         ["backfill SETs", workload.backfill_sets],
+         ["GET p50 (us)", metrics.get_latency.percentile(50) * 1e6],
+         ["GET p99 (us)", metrics.get_latency.percentile(99) * 1e6],
+         ["GET p99.9 (us)", metrics.get_latency.percentile(99.9) * 1e6],
+         ["SET p50 (us)", metrics.set_latency.percentile(50) * 1e6]]))
+
+    timeline = metrics.get_timeline
+    series = [
+        ("50p (us)", [(t, v * 1e6) for t, v in timeline.series(50)]),
+        ("99p (us)", [(t, v * 1e6) for t, v in timeline.series(99)]),
+        ("GET/s", timeline.rate_series()),
+    ]
+    print()
+    print(render_percentile_lines("Ads: latency & rate over time", series,
+                                  x_label="t (s)"))
+
+
+if __name__ == "__main__":
+    main()

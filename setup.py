@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package (offline installs).
+
+`pip install -e . --no-build-isolation` requires bdist_wheel; this shim lets
+`python setup.py develop` work as a fallback.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""Plain-text rendering of tables and series for benchmark output.
+
+Each benchmark prints the rows/series the corresponding paper figure
+plots, so `pytest benchmarks/ --benchmark-only -s` regenerates the
+evaluation in textual form.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence]) -> str:
+    """A boxed, column-aligned table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    lines = [f"== {title} ==", sep,
+             "|" + "|".join(f" {h:<{w}} " for h, w in zip(headers, widths)) +
+             "|", sep]
+    for row in str_rows:
+        lines.append("|" + "|".join(
+            f" {c:>{w}} " for c, w in zip(row, widths)) + "|")
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def render_series(title: str, series: Sequence[Tuple[float, float]],
+                  x_label: str = "x", y_label: str = "y",
+                  width: int = 48) -> str:
+    """A horizontal ASCII bar chart of an (x, y) series."""
+    if not series:
+        return f"== {title} ==\n(no data)"
+    max_y = max(y for _x, y in series) or 1.0
+    lines = [f"== {title} ==  ({x_label} vs {y_label})"]
+    for x, y in series:
+        bar = "#" * max(0, int(y / max_y * width))
+        lines.append(f"{_fmt(x):>12} | {bar:<{width}} {_fmt(y)}")
+    return "\n".join(lines)
+
+
+def render_percentile_lines(title: str, labeled_series, x_label: str = "t"
+                            ) -> str:
+    """Multiple named series, one compact row per x position."""
+    lines = [f"== {title} =="]
+    labels = [label for label, _s in labeled_series]
+    lines.append(f"{x_label:>12}  " + "  ".join(f"{l:>12}" for l in labels))
+    xs = sorted({x for _label, s in labeled_series for x, _y in s})
+    by_label = {label: dict(s) for label, s in labeled_series}
+    for x in xs:
+        cells = []
+        for label in labels:
+            y = by_label[label].get(x)
+            cells.append(f"{_fmt(y):>12}" if y is not None else " " * 12)
+        lines.append(f"{_fmt(x):>12}  " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)

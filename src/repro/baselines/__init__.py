@@ -1,0 +1,7 @@
+"""Baseline systems the paper compares against (MemcacheG, §2.1)."""
+
+from .memcacheg import (MemcacheGClient, MemcacheGCluster, MemcacheGConfig,
+                        MemcacheGServer, MemcacheGStats)
+
+__all__ = ["MemcacheGClient", "MemcacheGCluster", "MemcacheGConfig",
+           "MemcacheGServer", "MemcacheGStats"]

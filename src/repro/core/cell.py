@@ -1,0 +1,282 @@
+"""Cell assembly: hosts, transport, backends, spares, repair, maintenance.
+
+A :class:`Cell` is a deployed CliqueMap instance: N backend tasks (one per
+shard) plus optional warm spares, all wired to a simulated fabric and an
+RMA transport, published to the external config store, with repair
+scanners and a maintenance controller attached. It is the top-level
+object examples and benchmarks build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional
+
+from ..net import Fabric, FabricConfig, Host, HostConfig
+from ..rpc import Acl, Principal
+from ..sim import Simulator
+from ..transport import (OneRmaTransport, PonyTransport, RdmaTransport,
+                         Transport)
+from .backend import Backend, BackendConfig
+from .client import ClientConfig, CliqueMapClient
+from .config import (CellConfig, ConfigStore, LookupStrategy, ReplicationMode)
+from .hashing import Placement
+from .maintenance import MaintenanceConfig, MaintenanceController
+from .repair import RepairConfig, RepairScanner
+
+
+@dataclass
+class CellSpec:
+    """Everything needed to stand up a cell."""
+
+    name: str = "cell"
+    mode: ReplicationMode = ReplicationMode.R3_2
+    num_shards: int = 6
+    num_spares: int = 0
+    transport: str = "pony"               # pony | 1rma | rdma | none
+    backend_config: BackendConfig = field(default_factory=BackendConfig)
+    repair_config: RepairConfig = field(
+        default_factory=lambda: RepairConfig(enabled=False))
+    maintenance_config: MaintenanceConfig = field(
+        default_factory=MaintenanceConfig)
+    fabric_config: FabricConfig = field(default_factory=FabricConfig)
+    host_config: HostConfig = field(default_factory=HostConfig)
+    config_store_latency: float = 300e-6
+    # When set, only these principal names may mutate the corpus (Set /
+    # Erase / Cas); reads stay open to any authenticated principal.
+    # Internal principals (repair@*, migrate@*, loader) keep working.
+    writer_principals: Optional[List[str]] = None
+    seed: int = 1
+
+
+def make_transport(name: str, sim: Simulator, fabric: Fabric,
+                   **kwargs) -> Optional[Transport]:
+    """Transport factory keyed by the spec's transport name."""
+    if name == "pony":
+        return PonyTransport(sim, fabric, **kwargs)
+    if name == "1rma":
+        return OneRmaTransport(sim, fabric, **kwargs)
+    if name == "rdma":
+        return RdmaTransport(sim, fabric, **kwargs)
+    if name in ("none", ""):
+        return None
+    raise ValueError(f"unknown transport {name!r}")
+
+
+class Cell:
+    """A running CliqueMap cell."""
+
+    def __init__(self, spec: Optional[CellSpec] = None,
+                 sim: Optional[Simulator] = None,
+                 fabric: Optional[Fabric] = None,
+                 transport: Optional[Transport] = None):
+        self.spec = spec or CellSpec()
+        self.sim = sim or Simulator()
+        self.fabric = fabric or Fabric(self.sim, self.spec.fabric_config)
+        self.transport = transport if transport is not None else \
+            make_transport(self.spec.transport, self.sim, self.fabric)
+        self.config_store = ConfigStore(
+            self.sim, read_latency=self.spec.config_store_latency)
+        self.placement = Placement(self.spec.num_shards,
+                                   self.spec.mode.replicas)
+
+        self.backends: Dict[str, Backend] = {}
+        self.scanners: Dict[str, RepairScanner] = {}
+        self._spare_pool: List[str] = []
+        self._client_count = 0
+
+        shard_tasks = []
+        for shard in range(self.spec.num_shards):
+            task = f"backend-{shard}"
+            self._create_backend(task, shard)
+            shard_tasks.append(task)
+        for i in range(self.spec.num_spares):
+            task = f"spare-{i}"
+            self._create_backend(task, shard=-1)
+            self._spare_pool.append(task)
+
+        self.cell_config = CellConfig(
+            name=self.spec.name, mode=self.spec.mode,
+            num_shards=self.spec.num_shards, config_id=1,
+            shard_tasks=shard_tasks, spares=list(self._spare_pool))
+        self.config_store.publish(self.cell_config)
+
+        self.maintenance = MaintenanceController(
+            self.sim, self, self.spec.maintenance_config)
+        if self.spec.repair_config.enabled:
+            for task, backend in self.backends.items():
+                if backend.shard >= 0:
+                    self._start_scanner(task)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _create_backend(self, task: str, shard: int) -> Backend:
+        host = self.fabric.add_host(f"host/{task}", self.spec.host_config)
+        backend = Backend(self.sim, host, task, shard, self.placement,
+                          self._cell_config_view(),
+                          config=self.spec.backend_config,
+                          transport=self.transport)
+        if self.spec.writer_principals is not None:
+            backend.rpc_server.acl = self._build_writer_acl()
+        self.backends[task] = backend
+        return backend
+
+    def _build_writer_acl(self) -> Acl:
+        acl = Acl()
+        for method in ("Set", "Erase", "Cas"):
+            for principal in self.spec.writer_principals:
+                acl.allow(method, principal)
+        # Internal machinery: repairs, migrations, corpus loaders.
+        for method in ("Set", "Erase", "Cas", "MigrateIn"):
+            acl.allow_prefix(method, "repair@")
+            acl.allow_prefix(method, "migrate@")
+            acl.allow(method, "loader")
+        # Reads / metadata / maintenance stay open to any authenticated
+        # principal (matching the paper's per-RPC ACL posture).
+        for method in ("Info", "Lookup", "Touch", "ScanSummary",
+                       "RepairGet", "Defragment", "MigrateIn"):
+            acl.allow_prefix(method, "")
+        return acl
+
+    def _cell_config_view(self) -> CellConfig:
+        # Before the store is published (during construction) synthesize
+        # a minimal view; afterwards use the live generation.
+        if hasattr(self, "cell_config"):
+            return self.cell_config
+        return CellConfig(name=self.spec.name, mode=self.spec.mode,
+                          num_shards=self.spec.num_shards, config_id=1)
+
+    def _start_scanner(self, task: str) -> None:
+        scanner = RepairScanner(self.sim, self, self.backends[task],
+                                self.spec.repair_config)
+        self.scanners[task] = scanner
+        scanner.start()
+
+    # ------------------------------------------------------------------
+    # Directory / topology
+    # ------------------------------------------------------------------
+
+    def backend_by_task(self, task: str) -> Backend:
+        return self.backends[task]
+
+    def task_for_shard(self, shard: int) -> str:
+        return self.config_store.peek(self.spec.name).shard_tasks[shard]
+
+    def scanner_for(self, task: str) -> Optional[RepairScanner]:
+        return self.scanners.get(task)
+
+    def serving_backends(self) -> List[Backend]:
+        config = self.config_store.peek(self.spec.name)
+        return [self.backends[t] for t in config.shard_tasks]
+
+    # ------------------------------------------------------------------
+    # Reconfiguration (used by the maintenance controller)
+    # ------------------------------------------------------------------
+
+    def take_spare(self) -> Optional[str]:
+        if not self._spare_pool:
+            return None
+        return self._spare_pool.pop(0)
+
+    def return_spare(self, task: str) -> None:
+        self._spare_pool.append(task)
+
+    def repoint_shard(self, shard: int, task: str, spare_role: bool) -> None:
+        """Point a shard at a (possibly spare) task; bump the generation."""
+
+        def mutate(config: CellConfig) -> None:
+            config.shard_tasks[shard] = task
+            if spare_role:
+                config.spare_roles[task] = shard
+                if task in config.spares:
+                    config.spares.remove(task)
+            else:
+                config.spare_roles = {t: s
+                                      for t, s in config.spare_roles.items()
+                                      if s != shard}
+                config.spares = [t for t in self._spare_pool]
+
+        updated = self.config_store.update(self.spec.name, mutate)
+        self.cell_config = updated
+        # Backends stamp the new generation into bucket headers so clients
+        # discover the reconfiguration during response validation (§6.1).
+        for backend in self.backends.values():
+            if backend.alive:
+                backend.adopt_config_id(updated.config_id)
+
+    def restart_backend_task(self, task: str, shard: int) -> Backend:
+        """Bring a task back with fresh (empty) state after a restart."""
+        old = self.backends[task]
+        old.host.restart()
+        backend = Backend(self.sim, old.host, task, shard, self.placement,
+                          self.config_store.peek(self.spec.name),
+                          config=self.spec.backend_config,
+                          transport=self.transport)
+        self.backends[task] = backend
+        if task in self.scanners or self.spec.repair_config.enabled:
+            self._start_scanner(task)
+        return backend
+
+    # ------------------------------------------------------------------
+    # Clients
+    # ------------------------------------------------------------------
+
+    def make_client(self, host: Optional[Host] = None,
+                    strategy: Optional[LookupStrategy] = None,
+                    client_config: Optional[ClientConfig] = None,
+                    host_config: Optional[HostConfig] = None,
+                    zone: str = "local",
+                    principal: Optional[Principal] = None
+                    ) -> CliqueMapClient:
+        """Create (but do not connect) a client; drive ``client.connect()``.
+
+        ``zone`` places the client in another datacenter: RMA is not
+        applicable across the WAN, so remote-zone clients default to the
+        RPC lookup strategy (Table 1, row 5).
+        """
+        if host is None:
+            self._client_count += 1
+            host = self.fabric.add_host(
+                f"host/client-{self._client_count}",
+                host_config or self.spec.host_config, zone=zone)
+        if zone != "local":
+            if strategy is None:
+                strategy = LookupStrategy.RPC
+            if client_config is None:
+                # WAN-appropriate deadlines: each RPC crosses the
+                # inter-zone link twice.
+                wan_rtt = 2 * self.fabric.config.inter_zone_delay
+                client_config = ClientConfig(
+                    default_deadline=max(0.5, 20 * wan_rtt),
+                    mutation_rpc_deadline=max(0.2, 10 * wan_rtt),
+                    reconnect_interval=max(0.1, 5 * wan_rtt))
+        if self.transport is None and strategy is None:
+            strategy = LookupStrategy.RPC
+        return CliqueMapClient(
+            self.sim, self.fabric, host, self.spec.name, self.config_store,
+            self.backend_by_task, self.transport, strategy=strategy,
+            config=client_config, principal=principal)
+
+    def connect_client(self, **kwargs) -> CliqueMapClient:
+        """Create a client and run its connect() to completion."""
+        client = self.make_client(**kwargs)
+        self.sim.run(until=self.sim.process(client.connect()))
+        return client
+
+    # ------------------------------------------------------------------
+    # Aggregate stats
+    # ------------------------------------------------------------------
+
+    def total_dram_bytes(self) -> int:
+        return sum(b.dram_used_bytes() for b in self.backends.values()
+                   if b.alive)
+
+    def total_backend_cpu_seconds(self) -> float:
+        total = 0.0
+        for backend in self.backends.values():
+            ledger = backend.host.ledger
+            total += ledger.seconds(f"backend:{backend.task_name}")
+            total += ledger.seconds(f"rpc-server:{backend.rpc_server.name}")
+        return total

@@ -1,0 +1,33 @@
+"""End-to-end checksums guarding every KV pair.
+
+Inspired by Pilaf (§3): each KV pair carries a checksum across its key,
+value, and metadata (version + key hash). RMA reads are not atomic, so
+clients validate the checksum on every lookup; a mismatch is attributed to
+a torn read and retried. Because the checksum covers the IndexEntry and
+DataEntry *in combination*, server-side code may nullify pointers and
+rewrite entries knowing any racing read poisons itself (§4.2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+CHECKSUM_BYTES = 8
+
+
+def kv_checksum(key: bytes, value: bytes, version_bytes: bytes,
+                key_hash: bytes) -> bytes:
+    """64-bit checksum over the full self-validating unit."""
+    h = hashlib.blake2b(digest_size=CHECKSUM_BYTES)
+    h.update(len(key).to_bytes(4, "little"))
+    h.update(key)
+    h.update(len(value).to_bytes(4, "little"))
+    h.update(value)
+    h.update(version_bytes)
+    h.update(key_hash)
+    return h.digest()
+
+
+def checksum_ok(key: bytes, value: bytes, version_bytes: bytes,
+                key_hash: bytes, stored: bytes) -> bool:
+    return kv_checksum(key, value, version_bytes, key_hash) == stored

@@ -1,0 +1,973 @@
+"""The CliqueMap client library (§3, §5).
+
+The client is where CliqueMap's design concentrates its cleverness:
+
+* **2xR GETs** — bucket fetch, scan, data fetch, all one-sided;
+* **SCAR GETs** — one round trip via the software NIC (§6.3);
+* **RPC lookups** — fallback for WAN access and overflowed buckets;
+* **client-side quoruming** with first-responder preference (§5.1);
+* **self-validation** of every response: checksum, full-key compare,
+  version-vs-quorum, bucket magic, and configuration id (§3, §6.1);
+* **layered retries**: checksum failures retry the RMA; revoked regions
+  re-handshake over RPC; config mismatches refresh from the external
+  store; dead backends are skipped while a reconnect loop runs (§9);
+* **mutations** via RPC to all replicas with client-nominated
+  VersionNumbers (§5.2);
+* **batched touch reporting** so backends can run recency-based
+  eviction despite never seeing GETs (§4.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+from ..net import Fabric, Host, NetworkDropError
+from ..rpc import (PermissionDeniedError, Principal, RpcChannel, RpcError,
+                   connect as rpc_connect)
+from ..sim import Simulator
+from ..transport import (RegionRevokedError, RemoteHostDownError, RmaError,
+                         Transport)
+from .config import (CellConfig, ConfigStore, LookupStrategy, ReplicationMode)
+from .data import try_decode
+from .errors import GetStatus, SetStatus
+from .hashing import Placement
+from .index import ParsedBucket, parse_bucket
+from .quorum import (QuorumDecision, QuorumOutcome, ReplicaVote, VoteKind,
+                     evaluate)
+from .truetime import TrueTime
+from .version import VersionFactory, VersionNumber
+
+_client_ids = itertools.count(1)
+
+
+@dataclass
+class ClientCostModel:
+    """CliqueMap-client CPU costs (distinct from transport/engine CPU)."""
+
+    issue_op_cpu: float = 0.22e-6       # set up one RMA op
+    completion_cpu: float = 0.28e-6     # process one RMA completion
+    validate_cpu: float = 0.30e-6       # checksum + key comparison
+    validate_per_kb: float = 0.045e-6
+    quorum_cpu: float = 0.12e-6         # evaluate votes
+    mutation_cpu: float = 0.60e-6       # build mutation RPCs
+
+
+@dataclass
+class ClientConfig:
+    """Client behavior knobs."""
+
+    default_deadline: float = 10e-3
+    max_retries: int = 10
+    retry_backoff: float = 15e-6
+    mutation_rpc_deadline: float = 5e-3
+    touch_enabled: bool = True
+    touch_flush_interval: float = 20e-3
+    touch_batch_max: int = 512
+    reconnect_interval: float = 2e-3
+    overflow_rpc_lookup: bool = True
+    # Ablation switch: always fetch the datum from the logical primary
+    # instead of the first responder (a primary/backup-style read path).
+    force_primary_data_fetch: bool = False
+    # Transparent value compression (a post-launch feature, §9). This is
+    # a *corpus-level* convention: every client of the corpus must agree,
+    # since values are stored wrapped with a 1-byte scheme header.
+    compression_enabled: bool = False
+    compression_min_bytes: int = 512
+    compress_cpu_per_kb: float = 10e-6      # ~100 MB/s deflate
+    decompress_cpu_per_kb: float = 3e-6     # ~300 MB/s inflate
+    costs: ClientCostModel = field(default_factory=ClientCostModel)
+
+
+@dataclass
+class GetResult:
+    """Outcome of one GET."""
+
+    status: GetStatus
+    value: Optional[bytes] = None
+    version: Optional[VersionNumber] = None
+    attempts: int = 1
+    latency: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def hit(self) -> bool:
+        return self.status is GetStatus.HIT
+
+
+@dataclass
+class MutationResult:
+    """Outcome of a SET/ERASE/CAS."""
+
+    status: SetStatus
+    version: Optional[VersionNumber] = None
+    replicas_applied: int = 0
+    latency: float = 0.0
+    stored_version: Optional[VersionNumber] = None
+
+
+@dataclass
+class BackendView:
+    """Connection-time metadata for one backend task (§3)."""
+
+    task: str
+    host_name: str
+    channel: RpcChannel
+    config_id: int = 0
+    index_region_id: int = 0
+    num_buckets: int = 0
+    ways: int = 0
+    bucket_bytes: int = 0
+    data_region_id: int = 0
+    healthy: bool = False
+
+
+class _AttemptRetry(Exception):
+    """Internal: this attempt failed; retry after the indicated recovery."""
+
+    def __init__(self, reason: str, refresh_config: bool = False,
+                 stale_tasks: Tuple[str, ...] = ()):
+        super().__init__(reason)
+        self.reason = reason
+        self.refresh_config = refresh_config
+        self.stale_tasks = stale_tasks
+
+
+class CliqueMapClient:
+    """One application client of a CliqueMap cell."""
+
+    def __init__(self, sim: Simulator, fabric: Fabric, host: Host,
+                 cell_name: str, config_store: ConfigStore,
+                 directory: Callable[[str], object],
+                 transport: Transport,
+                 principal: Optional[Principal] = None,
+                 strategy: Optional[LookupStrategy] = None,
+                 config: Optional[ClientConfig] = None,
+                 truetime: Optional[TrueTime] = None):
+        self.sim = sim
+        self.fabric = fabric
+        self.host = host
+        self.cell_name = cell_name
+        self.config_store = config_store
+        self.directory = directory
+        self.transport = transport
+        self.principal = principal or Principal(f"client@{host.name}")
+        self.client_id = next(_client_ids)
+        self.config = config or ClientConfig()
+        if strategy is None:
+            strategy = (LookupStrategy.SCAR
+                        if transport is not None and transport.supports_scar
+                        else LookupStrategy.TWO_R)
+        self.strategy = strategy
+        self.truetime = truetime or TrueTime(sim)
+        self.versions = VersionFactory(self.client_id, self.truetime)
+
+        self.cell: Optional[CellConfig] = None
+        self.placement: Optional[Placement] = None
+        self._views: Dict[str, BackendView] = {}
+        self._pending_touches: Dict[str, List[bytes]] = {}
+        self._touch_flusher_started = False
+        self._reconnecting: set = set()
+
+        self.stats = {
+            "gets": 0, "hits": 0, "misses": 0, "get_errors": 0,
+            "retries": 0, "validation_failures": 0, "inquorate": 0,
+            "config_refreshes": 0, "view_refreshes": 0,
+            "sets": 0, "erases": 0, "cas": 0, "overflow_lookups": 0,
+            "torn_reads": 0, "version_races": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+
+    def connect(self) -> Generator:
+        """Fetch cell config and handshake with every serving backend."""
+        self.cell = yield from self.config_store.get(self.cell_name)
+        self.placement = Placement(self.cell.num_shards,
+                                   self.cell.mode.replicas)
+        for task in set(self.cell.shard_tasks):
+            yield from self._build_view(task)
+
+    def _build_view(self, task: str) -> Generator:
+        backend = self.directory(task)
+        view = self._views.get(task)
+        if view is None or view.channel.server is not backend.rpc_server:
+            channel = rpc_connect(self.sim, self.fabric, self.host,
+                                  backend.rpc_server, self.principal,
+                                  client_component="cliquemap-client")
+            view = BackendView(task=task, host_name=backend.host.name,
+                               channel=channel)
+            self._views[task] = view
+        try:
+            info = yield from view.channel.call(
+                "Info", {}, deadline=self.config.mutation_rpc_deadline)
+        except RpcError:
+            view.healthy = False
+            self._start_reconnect(task)
+            return view
+        view.config_id = info["config_id"]
+        view.index_region_id = info["index_region_id"]
+        view.num_buckets = info["num_buckets"]
+        view.ways = info["ways"]
+        view.bucket_bytes = info["bucket_bytes"]
+        view.data_region_id = info["data_region_id"]
+        view.healthy = True
+        self.stats["view_refreshes"] += 1
+        return view
+
+    def _refresh_config(self) -> Generator:
+        """Re-read cell topology from the external HA store (§6.1)."""
+        self.cell = yield from self.config_store.get(self.cell_name)
+        self.stats["config_refreshes"] += 1
+        for task in set(self.cell.shard_tasks):
+            yield from self._build_view(task)
+
+    def _start_reconnect(self, task: str) -> None:
+        if task in self._reconnecting:
+            return
+        self._reconnecting.add(task)
+        proc = self.sim.process(self._reconnect_loop(task),
+                                name=f"reconnect:{task}")
+        proc.defused = True
+
+    def _reconnect_loop(self, task: str) -> Generator:
+        try:
+            while True:
+                yield self.sim.timeout(self.config.reconnect_interval)
+                if task not in {t for t in self.cell.shard_tasks}:
+                    return  # task no longer serves; a refresh will rebuild
+                view = yield from self._build_view(task)
+                if view.healthy:
+                    return
+        finally:
+            self._reconnecting.discard(task)
+
+    def _replica_views(self, key_hash: bytes) -> List[BackendView]:
+        """Healthy views for the key's replica cohort, shard order."""
+        views = []
+        for shard in self.placement.shards_for(key_hash):
+            task = self.cell.task_for_shard(shard)
+            view = self._views.get(task)
+            if view is None:
+                continue  # will be built on next config refresh
+            if view.healthy:
+                views.append(view)
+        return views
+
+    # ------------------------------------------------------------------
+    # GET
+    # ------------------------------------------------------------------
+
+    def get(self, key: bytes, deadline: Optional[float] = None) -> Generator:
+        """Look up a key; retries transparently, returns a GetResult."""
+        self.stats["gets"] += 1
+        started = self.sim.now
+        deadline_at = started + (deadline or self.config.default_deadline)
+        key_hash = self.placement.key_hash(key)
+        attempts = 0
+        last_reason = "no-healthy-replicas"
+
+        while attempts < self.config.max_retries and \
+                self.sim.now < deadline_at:
+            attempts += 1
+            try:
+                status, value, version = yield from self._attempt(
+                    key, key_hash, deadline_at)
+            except _AttemptRetry as retry:
+                self.stats["retries"] += 1
+                last_reason = retry.reason
+                if retry.reason.startswith("validation"):
+                    self.stats["validation_failures"] += 1
+                if retry.reason == "inquorate":
+                    self.stats["inquorate"] += 1
+                for task in retry.stale_tasks:
+                    yield from self._build_view(task)
+                if retry.refresh_config:
+                    yield from self._refresh_config()
+                if retry.reason in ("no-healthy-replicas", "inquorate",
+                                    "replica-down", "replica-error"):
+                    # Failed-RMA retries contact backends via RPC as part
+                    # of the retry procedure (§4.1) — re-handshake any
+                    # unhealthy cohort member inline rather than waiting
+                    # for the background reconnect loop.
+                    for shard in self.placement.shards_for(key_hash):
+                        task = self.cell.task_for_shard(shard)
+                        view = self._views.get(task)
+                        if view is None or not view.healthy:
+                            yield from self._build_view(task)
+                if self.config.retry_backoff:
+                    yield self.sim.timeout(self.config.retry_backoff)
+                continue
+            latency = self.sim.now - started
+            if status is GetStatus.HIT:
+                self.stats["hits"] += 1
+                self._note_touch(key_hash)
+                value = yield from self._decode_value(value)
+                return GetResult(GetStatus.HIT, value=value, version=version,
+                                 attempts=attempts, latency=latency)
+            self.stats["misses"] += 1
+            return GetResult(GetStatus.MISS, attempts=attempts,
+                             latency=latency)
+
+        self.stats["get_errors"] += 1
+        return GetResult(GetStatus.ERROR, attempts=attempts,
+                         latency=self.sim.now - started, error=last_reason)
+
+    def get_multi(self, keys: List[bytes],
+                  deadline: Optional[float] = None) -> Generator:
+        """Batched lookup: all keys in parallel, returns aligned results."""
+        procs = [self.sim.process(self.get(key, deadline)) for key in keys]
+        results = yield self.sim.all_of(procs)
+        return results
+
+    # -- one attempt ---------------------------------------------------------
+
+    def _attempt(self, key: bytes, key_hash: bytes,
+                 deadline_at: float) -> Generator:
+        if self.strategy is LookupStrategy.RPC:
+            return (yield from self._attempt_rpc(key, key_hash, deadline_at))
+        if self.strategy is LookupStrategy.MSG:
+            return (yield from self._attempt_msg(key, key_hash))
+        views = self._replica_views(key_hash)
+        quorum = self.cell.mode.quorum
+        if len(views) < quorum:
+            raise _AttemptRetry("no-healthy-replicas")
+        if self.cell.mode is ReplicationMode.R2_IMMUTABLE:
+            return (yield from self._attempt_serial(key, key_hash, views))
+        if self.strategy is LookupStrategy.SCAR:
+            return (yield from self._attempt_scar(key, key_hash, views,
+                                                  quorum))
+        return (yield from self._attempt_2xr(key, key_hash, views, quorum))
+
+    def _attempt_2xr(self, key: bytes, key_hash: bytes,
+                     views: List[BackendView], quorum: int) -> Generator:
+        """Index fetch from all replicas; data from the first responder."""
+        total = len(views)
+        pending = {self.sim.process(self._fetch_index(view, key_hash)): view
+                   for view in views}
+        votes: List[ReplicaVote] = []
+        entries: Dict[str, object] = {}
+        view_by_task = {view.task: view for view in views}
+        preferred_task: Optional[str] = None
+        data_proc = None
+        data_task: Optional[str] = None
+        stale: List[str] = []
+        overflow_seen = [False]
+        config_mismatch = False
+        decision = QuorumDecision(QuorumOutcome.UNDECIDED)
+
+        while pending:
+            event, result = yield self.sim.any_of(list(pending))
+            view = pending.pop(event)
+            vote = self._vote_from(view, result, stale, key_hash,
+                                   overflow_seen)
+            if isinstance(result, tuple) and result[0] == "config":
+                config_mismatch = True
+            votes.append(vote)
+            if vote.kind is VoteKind.PRESENT:
+                entries[view.task] = vote.entry
+            speculate = (not self.config.force_primary_data_fetch or
+                         view.task == views[0].task)
+            if preferred_task is None and vote.kind is not VoteKind.ERROR \
+                    and speculate:
+                preferred_task = view.task
+                if vote.kind is VoteKind.PRESENT:
+                    # Speculative data fetch from the first responder (or
+                    # from the logical primary under the ablation).
+                    data_proc = self.sim.process(
+                        self._fetch_data(view, vote.entry))
+                    data_task = view.task
+            self.host.charge_inline(self.config.costs.quorum_cpu,
+                                    "cliquemap-client")
+            decision = evaluate(votes, total, quorum)
+            if decision.outcome in (QuorumOutcome.PRESENT,
+                                    QuorumOutcome.ABSENT):
+                if self.config.force_primary_data_fetch and \
+                        not any(v.task == views[0].task for v in votes):
+                    continue  # primary/backup ablation: await the primary
+                break
+
+        if decision.outcome is QuorumOutcome.UNDECIDED:
+            decision = evaluate(votes, len(votes), quorum)
+        self._raise_for_failures(decision, stale, config_mismatch)
+
+        if decision.outcome is QuorumOutcome.ABSENT:
+            if data_proc is not None:
+                data_proc.defused = True
+            return (yield from self._maybe_overflow_lookup(
+                key, view_by_task, overflow_seen[0]))
+
+        # PRESENT: the data must come from a quorum member at the quorumed
+        # version (§5.1 condition 4).
+        if data_task is None or data_task not in decision.members:
+            if data_proc is not None:
+                data_proc.defused = True  # speculation failed; ignore it
+            if self.config.force_primary_data_fetch:
+                # Primary/backup-style: insist on the primary when it is
+                # in the quorum, paying its latency even when slow.
+                primary = views[0].task
+                data_task = primary if primary in decision.members \
+                    else decision.members[0]
+            else:
+                data_task = decision.members[0]
+            data_proc = self.sim.process(self._fetch_data(
+                view_by_task[data_task], entries[data_task]))
+        result = yield data_proc
+        return self._validate_data(key, key_hash, result, decision, stale,
+                                   data_task)
+
+    def _attempt_scar(self, key: bytes, key_hash: bytes,
+                      views: List[BackendView], quorum: int) -> Generator:
+        """SCAR to all replicas: one round trip, three full data copies."""
+        total = len(views)
+        pending = {self.sim.process(self._fetch_scar(view, key_hash)): view
+                   for view in views}
+        votes: List[ReplicaVote] = []
+        data_by_task: Dict[str, Optional[bytes]] = {}
+        stale: List[str] = []
+        overflow_seen = [False]
+        config_mismatch = False
+        decision = QuorumDecision(QuorumOutcome.UNDECIDED)
+
+        while pending:
+            event, result = yield self.sim.any_of(list(pending))
+            view = pending.pop(event)
+            vote = self._vote_from(view, result, stale, key_hash,
+                                   overflow_seen)
+            if isinstance(result, tuple) and result[0] == "config":
+                config_mismatch = True
+            votes.append(vote)
+            if vote.kind is VoteKind.PRESENT:
+                data_by_task[view.task] = result[3]
+            self.host.charge_inline(self.config.costs.quorum_cpu,
+                                    "cliquemap-client")
+            decision = evaluate(votes, total, quorum)
+            if decision.outcome in (QuorumOutcome.PRESENT,
+                                    QuorumOutcome.ABSENT):
+                break
+
+        if decision.outcome is QuorumOutcome.UNDECIDED:
+            decision = evaluate(votes, len(votes), quorum)
+        self._raise_for_failures(decision, stale, config_mismatch)
+
+        if decision.outcome is QuorumOutcome.ABSENT:
+            view_by_task = {view.task: view for view in views}
+            return (yield from self._maybe_overflow_lookup(
+                key, view_by_task, overflow_seen[0]))
+
+        # Prefer validating a copy fetched from a quorum member.
+        for task in decision.members:
+            raw = data_by_task.get(task)
+            if raw is None:
+                continue
+            outcome = self._try_validate(key, key_hash, raw, decision)
+            yield from self._charge_validation(raw)
+            if outcome is not None:
+                return outcome
+        # No SCAR copy validated. If the NIC-side scan followed a pointer
+        # into a superseded (reshaped) window it returns the bucket only;
+        # fall back to a client-side data fetch, which can converge to the
+        # currently-advertised window.
+        entry_by_task = {v.task: v.entry for v in votes
+                         if v.kind is VoteKind.PRESENT}
+        view_by_task = {view.task: view for view in views}
+        for task in decision.members:
+            entry = entry_by_task.get(task)
+            if entry is None:
+                continue
+            result = yield from self._fetch_data(view_by_task[task], entry)
+            return self._validate_data(key, key_hash, result, decision,
+                                       stale, task)
+        raise _AttemptRetry("validation-torn-or-stale", stale_tasks=())
+
+    def _attempt_serial(self, key: bytes, key_hash: bytes,
+                        views: List[BackendView]) -> Generator:
+        """R=1 / R=2-immutable: consult one replica, fall back on failure."""
+        last_reason = "no-healthy-replicas"
+        for view in views:
+            overflow_seen = [False]
+            result = yield from self._fetch_index(view, key_hash)
+            vote = self._vote_from(view, result, [], key_hash, overflow_seen)
+            if isinstance(result, tuple) and result[0] == "config":
+                raise _AttemptRetry("config-mismatch", refresh_config=True)
+            if vote.kind is VoteKind.ERROR:
+                last_reason = "replica-error"
+                continue
+            if vote.kind is VoteKind.ABSENT:
+                return (yield from self._maybe_overflow_lookup(
+                    key, {view.task: view}, overflow_seen[0]))
+            data_result = yield from self._fetch_data(view, vote.entry)
+            decision = QuorumDecision(QuorumOutcome.PRESENT,
+                                      version=vote.version,
+                                      members=(view.task,), unanimous=True)
+            try:
+                return self._validate_data(key, key_hash, data_result,
+                                           decision, [], view.task)
+            except _AttemptRetry as retry:
+                last_reason = retry.reason
+                continue
+        raise _AttemptRetry(last_reason)
+
+    def _attempt_msg(self, key: bytes, key_hash: bytes) -> Generator:
+        """Two-sided messaging lookup through the software NIC (Fig 7).
+
+        Cheaper than a full RPC, but wakes a server application thread —
+        the CPU cost SCAR exists to avoid (§6.3).
+        """
+        views = self._replica_views(key_hash)
+        if not views:
+            raise _AttemptRetry("no-healthy-replicas")
+        for view in views:
+            self.host.charge_inline(self.config.costs.issue_op_cpu,
+                                    "cliquemap-client")
+            try:
+                reply = yield from self.transport.message(
+                    self.host, view.host_name, "cliquemap-lookup",
+                    len(key) + 64, {"key": key})
+            except (RemoteHostDownError, RmaError, NetworkDropError):
+                view.healthy = False
+                self._start_reconnect(view.task)
+                continue
+            self.host.charge_inline(self.config.costs.completion_cpu,
+                                    "cliquemap-client")
+            if not reply.get("found"):
+                return GetStatus.MISS, None, None
+            if reply.get("key") != key:
+                return GetStatus.MISS, None, None  # hash collision guard
+            return (GetStatus.HIT, reply["value"],
+                    VersionNumber.unpack(reply["version"]))
+        raise _AttemptRetry("replica-down")
+
+    def _attempt_rpc(self, key: bytes, key_hash: bytes,
+                     deadline_at: float) -> Generator:
+        """Two-sided lookup via the RPC framework (WAN / fallback)."""
+        views = self._replica_views(key_hash)
+        if not views:
+            raise _AttemptRetry("no-healthy-replicas")
+        for view in views:
+            try:
+                reply = yield from view.channel.call(
+                    "Lookup", {"key": key},
+                    deadline=max(1e-6, deadline_at - self.sim.now))
+            except RpcError:
+                continue
+            if not reply.get("found"):
+                return GetStatus.MISS, None, None
+            version = VersionNumber.unpack(reply["version"])
+            return GetStatus.HIT, reply["value"], version
+        raise _AttemptRetry("rpc-replicas-unavailable")
+
+    # -- fetch helpers ---------------------------------------------------------
+
+    def _bucket_location(self, view: BackendView,
+                         key_hash: bytes) -> Tuple[int, int]:
+        bucket = int.from_bytes(key_hash[:8], "little") % view.num_buckets
+        return bucket, bucket * view.bucket_bytes
+
+    def _fetch_index(self, view: BackendView, key_hash: bytes) -> Generator:
+        """RMA-read one bucket; returns a tagged outcome tuple (never raises)."""
+        _bucket, offset = self._bucket_location(view, key_hash)
+        self.host.charge_inline(self.config.costs.issue_op_cpu,
+                                "cliquemap-client")
+        try:
+            raw = yield from self.transport.read(
+                self.host, view.host_name, view.index_region_id, offset,
+                view.bucket_bytes)
+        except RegionRevokedError:
+            return ("stale", view.task, None)
+        except (RemoteHostDownError, RmaError, NetworkDropError):
+            return ("down", view.task, None)
+        self.host.charge_inline(self.config.costs.completion_cpu,
+                                "cliquemap-client")
+        parsed = parse_bucket(raw, view.ways)
+        if not parsed.magic_ok:
+            return ("stale", view.task, None)
+        if parsed.config_id != view.config_id:
+            return ("config", view.task, parsed.config_id)
+        return ("ok", view.task, parsed)
+
+    def _fetch_scar(self, view: BackendView, key_hash: bytes) -> Generator:
+        _bucket, offset = self._bucket_location(view, key_hash)
+        self.host.charge_inline(self.config.costs.issue_op_cpu,
+                                "cliquemap-client")
+        try:
+            bucket_raw, data_raw = yield from self.transport.scar(
+                self.host, view.host_name, view.index_region_id, offset,
+                view.bucket_bytes, key_hash)
+        except RegionRevokedError:
+            return ("stale", view.task, None)
+        except (RemoteHostDownError, RmaError, NetworkDropError):
+            return ("down", view.task, None)
+        self.host.charge_inline(self.config.costs.completion_cpu,
+                                "cliquemap-client")
+        parsed = parse_bucket(bucket_raw, view.ways)
+        if not parsed.magic_ok:
+            return ("stale", view.task, None)
+        if parsed.config_id != view.config_id:
+            return ("config", view.task, parsed.config_id)
+        return ("ok", view.task, parsed, data_raw)
+
+    def _fetch_data(self, view: BackendView, entry) -> Generator:
+        self.host.charge_inline(self.config.costs.issue_op_cpu,
+                                "cliquemap-client")
+        try:
+            raw = yield from self.transport.read(
+                self.host, view.host_name, entry.region_id, entry.offset,
+                entry.size)
+        except RegionRevokedError:
+            # The entry's window was superseded by a data-region reshape.
+            # Windows overlap the same virtually-contiguous pool (§4.1),
+            # so the offset is still valid through the currently-advertised
+            # window — converge to it, perhaps after a view refresh.
+            if view.data_region_id == entry.region_id:
+                return ("stale", view.task, None)
+            try:
+                raw = yield from self.transport.read(
+                    self.host, view.host_name, view.data_region_id,
+                    entry.offset, entry.size)
+            except RegionRevokedError:
+                return ("stale", view.task, None)
+            except (RemoteHostDownError, RmaError, NetworkDropError):
+                return ("down", view.task, None)
+        except (RemoteHostDownError, RmaError, NetworkDropError):
+            return ("down", view.task, None)
+        self.host.charge_inline(self.config.costs.completion_cpu,
+                                "cliquemap-client")
+        return ("ok", view.task, raw)
+
+    # -- vote/validation helpers ------------------------------------------------
+
+    def _vote_from(self, view: BackendView, result, stale: List[str],
+                   key_hash: bytes, overflow_seen: List[bool]
+                   ) -> ReplicaVote:
+        kind = result[0]
+        if kind == "ok":
+            parsed: ParsedBucket = result[2]
+            if parsed.overflow:
+                overflow_seen[0] = True
+            entry = parsed.find(key_hash)
+            if entry is None:
+                return ReplicaVote.absent(view.task)
+            return ReplicaVote.present(view.task, entry)
+        if kind == "stale":
+            stale.append(view.task)
+            return ReplicaVote.error(view.task)
+        if kind == "down":
+            view.healthy = False
+            self._start_reconnect(view.task)
+            return ReplicaVote.error(view.task)
+        if kind == "config":
+            return ReplicaVote.error(view.task)
+        return ReplicaVote.error(view.task)
+
+    def _raise_for_failures(self, decision: QuorumDecision,
+                            stale: List[str], config_mismatch: bool) -> None:
+        if decision.outcome in (QuorumOutcome.PRESENT, QuorumOutcome.ABSENT):
+            return
+        if config_mismatch:
+            raise _AttemptRetry("config-mismatch", refresh_config=True,
+                                stale_tasks=tuple(stale))
+        if stale:
+            raise _AttemptRetry("stale-view", stale_tasks=tuple(stale))
+        raise _AttemptRetry("inquorate")
+
+    def _charge_validation(self, raw: bytes) -> Generator:
+        cost = self.config.costs
+        yield from self.host.execute(
+            cost.validate_cpu + len(raw) / 1024.0 * cost.validate_per_kb,
+            "cliquemap-client")
+
+    def _try_validate(self, key: bytes, key_hash: bytes, raw: bytes,
+                      decision: QuorumDecision):
+        """Full §5.1 validation; returns a result tuple or None."""
+        entry = try_decode(raw)
+        if entry is None:
+            self.stats["torn_reads"] += 1    # structurally torn
+            return None
+        if not entry.checksum_ok(key_hash):
+            self.stats["torn_reads"] += 1    # torn read
+            return None
+        if entry.key != key:
+            return GetStatus.MISS, None, None  # 128-bit hash collision
+        if decision.version is not None and entry.version != decision.version:
+            self.stats["version_races"] += 1  # raced a newer mutation
+            return None
+        return GetStatus.HIT, entry.value, entry.version
+
+    def _validate_data(self, key: bytes, key_hash: bytes, result,
+                       decision: QuorumDecision, stale: List[str],
+                       data_task: str):
+        kind = result[0]
+        if kind == "stale":
+            raise _AttemptRetry("stale-view", stale_tasks=(data_task,))
+        if kind == "down":
+            raise _AttemptRetry("replica-down")
+        raw = result[2]
+        outcome = self._try_validate(key, key_hash, raw, decision)
+        if outcome is None:
+            raise _AttemptRetry("validation-torn-or-stale",
+                                stale_tasks=tuple(stale))
+        return outcome
+
+    def _maybe_overflow_lookup(self, key: bytes,
+                               view_by_task: Dict[str, BackendView],
+                               overflow_seen: bool) -> Generator:
+        """On a miss under an overflowed bucket, optionally try RPC (§4.2)."""
+        if self.config.overflow_rpc_lookup and overflow_seen:
+            self.stats["overflow_lookups"] += 1
+            for view in view_by_task.values():
+                try:
+                    reply = yield from view.channel.call(
+                        "Lookup", {"key": key},
+                        deadline=self.config.mutation_rpc_deadline)
+                except RpcError:
+                    continue
+                if reply.get("found"):
+                    return (GetStatus.HIT, reply["value"],
+                            VersionNumber.unpack(reply["version"]))
+        return GetStatus.MISS, None, None
+
+    # ------------------------------------------------------------------
+    # Transparent value compression (§9)
+    # ------------------------------------------------------------------
+
+    _RAW = b"\x00"
+    _ZLIB = b"\x01"
+
+    def _encode_value(self, value: bytes) -> Generator:
+        """Wrap (and maybe compress) a value for storage."""
+        if not self.config.compression_enabled:
+            return value
+        if len(value) >= self.config.compression_min_bytes:
+            yield from self.host.execute(
+                len(value) / 1024.0 * self.config.compress_cpu_per_kb,
+                "cliquemap-client")
+            compressed = zlib.compress(value)
+            if len(compressed) < len(value):
+                return self._ZLIB + compressed
+        return self._RAW + value
+
+    def _decode_value(self, stored: Optional[bytes]) -> Generator:
+        """Unwrap a stored value; inverse of :meth:`_encode_value`."""
+        if not self.config.compression_enabled or stored is None:
+            return stored
+        if not stored:
+            return stored
+        scheme, body = stored[:1], stored[1:]
+        if scheme == self._ZLIB:
+            yield from self.host.execute(
+                len(body) / 1024.0 * self.config.decompress_cpu_per_kb,
+                "cliquemap-client")
+            return zlib.decompress(body)
+        return body
+
+    # ------------------------------------------------------------------
+    # Mutations (§5.2)
+    # ------------------------------------------------------------------
+
+    def set(self, key: bytes, value: bytes,
+            deadline: Optional[float] = None) -> Generator:
+        """SET via RPC to all replicas with a fresh VersionNumber."""
+        self.stats["sets"] += 1
+        started = self.sim.now
+        deadline_at = started + (deadline or self.config.default_deadline)
+        value = yield from self._encode_value(value)
+        payload_size = len(key) + len(value) + 64
+        quorum = self.cell.mode.quorum
+        last = MutationResult(SetStatus.FAILED)
+
+        for _attempt in range(self.config.max_retries):
+            if self.sim.now >= deadline_at:
+                break
+            version = self.versions.next()
+            replies = yield from self._mutate_all(
+                "Set", {"key": key, "value": value,
+                        "version": version.pack()},
+                self.placement.key_hash(key), payload_size)
+            applied = sum(1 for r in replies
+                          if r is not None and r.get("applied"))
+            superseded = sum(1 for r in replies if r is not None and
+                             not r.get("applied") and
+                             r.get("reason") == "superseded")
+            latency = self.sim.now - started
+            if applied >= quorum:
+                return MutationResult(SetStatus.APPLIED, version=version,
+                                      replicas_applied=applied,
+                                      latency=latency)
+            if superseded >= quorum:
+                return MutationResult(SetStatus.SUPERSEDED, version=version,
+                                      replicas_applied=applied,
+                                      latency=latency)
+            last = MutationResult(SetStatus.FAILED, version=version,
+                                  replicas_applied=applied, latency=latency)
+        return last
+
+    def set_multi(self, items: List[Tuple[bytes, bytes]],
+                  deadline: Optional[float] = None) -> Generator:
+        """Batched SETs in parallel (backfill jobs use this, §7.1)."""
+        procs = [self.sim.process(self.set(key, value, deadline))
+                 for key, value in items]
+        results = yield self.sim.all_of(procs)
+        return results
+
+    def erase(self, key: bytes,
+              deadline: Optional[float] = None) -> Generator:
+        """ERASE via RPC; tombstoned so late SETs cannot resurrect (§5.2)."""
+        self.stats["erases"] += 1
+        started = self.sim.now
+        deadline_at = started + (deadline or self.config.default_deadline)
+        quorum = self.cell.mode.quorum
+        last = MutationResult(SetStatus.FAILED)
+
+        for _attempt in range(self.config.max_retries):
+            if self.sim.now >= deadline_at:
+                break
+            version = self.versions.next()
+            replies = yield from self._mutate_all(
+                "Erase", {"key": key, "version": version.pack()},
+                self.placement.key_hash(key), len(key) + 64)
+            applied = sum(1 for r in replies
+                          if r is not None and r.get("applied"))
+            superseded = sum(1 for r in replies if r is not None and
+                             not r.get("applied"))
+            latency = self.sim.now - started
+            if applied >= quorum:
+                return MutationResult(SetStatus.APPLIED, version=version,
+                                      replicas_applied=applied,
+                                      latency=latency)
+            if superseded >= quorum:
+                return MutationResult(SetStatus.SUPERSEDED, version=version,
+                                      latency=latency)
+            last = MutationResult(SetStatus.FAILED, version=version,
+                                  replicas_applied=applied, latency=latency)
+        return last
+
+    def cas(self, key: bytes, value: bytes, expected: VersionNumber,
+            deadline: Optional[float] = None) -> Generator:
+        """Compare-and-set: install only if the stored version matches."""
+        self.stats["cas"] += 1
+        started = self.sim.now
+        value = yield from self._encode_value(value)
+        version = self.versions.next()
+        replies = yield from self._mutate_all(
+            "Cas", {"key": key, "value": value, "new_version": version.pack(),
+                    "expected_version": expected.pack()},
+            self.placement.key_hash(key), len(key) + len(value) + 96)
+        applied = sum(1 for r in replies
+                      if r is not None and r.get("applied"))
+        latency = self.sim.now - started
+        stored = None
+        for reply in replies:
+            if reply is not None and "stored_version" in reply:
+                candidate = VersionNumber.unpack(reply["stored_version"])
+                stored = candidate if stored is None else max(stored,
+                                                              candidate)
+        if applied >= self.cell.mode.quorum:
+            return MutationResult(SetStatus.APPLIED, version=version,
+                                  replicas_applied=applied, latency=latency)
+        return MutationResult(SetStatus.FAILED, version=version,
+                              replicas_applied=applied, latency=latency,
+                              stored_version=stored)
+
+    def append(self, key: bytes, suffix: bytes,
+               deadline: Optional[float] = None) -> Generator:
+        """Append to a value: a new mutation type built as a CAS loop (§9).
+
+        Uncoordinated per-replica read-modify-write would diverge, so the
+        append is resolved at the client: GET, extend, CAS against the
+        observed version; retried on conflict. Creates the key if absent.
+        """
+        started = self.sim.now
+        deadline_at = started + (deadline or self.config.default_deadline)
+        for _attempt in range(self.config.max_retries):
+            if self.sim.now >= deadline_at:
+                break
+            if _attempt:
+                # Linear backoff de-synchronizes contending CAS loops.
+                yield self.sim.timeout(self.config.retry_backoff *
+                                       _attempt * (1 + self.client_id % 3))
+            current = yield from self.get(key)
+            if current.status is GetStatus.ERROR:
+                continue
+            if current.status is GetStatus.MISS:
+                # Creation race: a plain SET; a concurrent newer mutation
+                # simply supersedes us, and we retry.
+                result = yield from self.set(key, suffix)
+                if result.status is SetStatus.APPLIED:
+                    return result
+                continue
+            result = yield from self.cas(key, current.value + suffix,
+                                         current.version)
+            if result.status is SetStatus.APPLIED:
+                result.latency = self.sim.now - started
+                return result
+        return MutationResult(SetStatus.FAILED,
+                              latency=self.sim.now - started)
+
+    def _mutate_all(self, method: str, payload: dict, key_hash: bytes,
+                    payload_size: int) -> Generator:
+        """Issue one mutation RPC to every replica; None for failures."""
+        yield from self.host.execute(self.config.costs.mutation_cpu,
+                                     "cliquemap-client")
+        views = self._replica_views(key_hash)
+        if not views:
+            return []
+
+        def one(view: BackendView):
+            try:
+                reply = yield from view.channel.call(
+                    method, payload,
+                    deadline=self.config.mutation_rpc_deadline,
+                    request_size=payload_size)
+                return reply
+            except PermissionDeniedError:
+                return None  # unauthorized: not retryable
+            except RpcError:
+                view_alive = self.directory(view.task).alive \
+                    if self.directory else True
+                if not view_alive:
+                    view.healthy = False
+                    self._start_reconnect(view.task)
+                return None
+
+        procs = [self.sim.process(one(view)) for view in views]
+        replies = yield self.sim.all_of(procs)
+        return replies
+
+    # ------------------------------------------------------------------
+    # Touch reporting (§4.2)
+    # ------------------------------------------------------------------
+
+    def _note_touch(self, key_hash: bytes) -> None:
+        if not self.config.touch_enabled:
+            return
+        for shard in self.placement.shards_for(key_hash):
+            task = self.cell.task_for_shard(shard)
+            self._pending_touches.setdefault(task, []).append(key_hash)
+        if not self._touch_flusher_started:
+            self._touch_flusher_started = True
+            proc = self.sim.process(self._touch_flusher(),
+                                    name=f"touch-flush:{self.client_id}")
+            proc.defused = True
+
+    def _touch_flusher(self) -> Generator:
+        """Background batch reporting of accesses, amortizing RPC cost."""
+        while True:
+            yield self.sim.timeout(self.config.touch_flush_interval)
+            pending, self._pending_touches = self._pending_touches, {}
+            for task, hashes in pending.items():
+                view = self._views.get(task)
+                if view is None or not view.healthy:
+                    continue
+                for i in range(0, len(hashes), self.config.touch_batch_max):
+                    batch = hashes[i:i + self.config.touch_batch_max]
+                    try:
+                        yield from view.channel.call(
+                            "Touch", {"key_hashes": batch},
+                            deadline=self.config.mutation_rpc_deadline,
+                            request_size=16 * len(batch) + 32)
+                    except RpcError:
+                        break

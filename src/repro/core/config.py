@@ -1,0 +1,105 @@
+"""Cell configuration and the external high-availability config store.
+
+Clients learn the cell topology — which backend task serves each shard,
+the replication mode, the configuration generation — from an external HA
+storage system (Chubby/Spanner in the paper, §6.1). When a client's
+validation detects a configuration-id mismatch in a fetched bucket, it
+refreshes from this store and discovers all migrations in flight and the
+(temporary) roles of any warm spares.
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from ..sim import Simulator
+
+
+class ReplicationMode(enum.Enum):
+    """Deployment replication modes (§5, §6.4)."""
+
+    R1 = "r1"                    # single copy
+    R2_IMMUTABLE = "r2imm"       # two copies, immutable corpus
+    R3_2 = "r3.2"                # three copies, quorum of two
+
+    @property
+    def replicas(self) -> int:
+        return {ReplicationMode.R1: 1,
+                ReplicationMode.R2_IMMUTABLE: 2,
+                ReplicationMode.R3_2: 3}[self]
+
+    @property
+    def quorum(self) -> int:
+        return {ReplicationMode.R1: 1,
+                ReplicationMode.R2_IMMUTABLE: 1,
+                ReplicationMode.R3_2: 2}[self]
+
+
+class LookupStrategy(enum.Enum):
+    """How GETs are performed (§3, §6.3)."""
+
+    TWO_R = "2xr"     # two RMA reads in sequence
+    SCAR = "scar"     # single round trip via the software NIC
+    MSG = "msg"       # two-sided messaging through the software NIC (Fig 7)
+    RPC = "rpc"       # two-sided lookup over the full RPC stack (WAN)
+
+
+@dataclass
+class CellConfig:
+    """A snapshot of cell topology at one configuration generation."""
+
+    name: str
+    mode: ReplicationMode
+    num_shards: int
+    config_id: int = 1
+    # shard index -> backend task name currently serving it.
+    shard_tasks: List[str] = field(default_factory=list)
+    # Idle warm-spare task names.
+    spares: List[str] = field(default_factory=list)
+    # task name -> shard it is temporarily covering (migrations in flight).
+    spare_roles: Dict[str, int] = field(default_factory=dict)
+
+    def task_for_shard(self, shard: int) -> str:
+        return self.shard_tasks[shard]
+
+    def clone(self) -> "CellConfig":
+        return copy.deepcopy(self)
+
+
+class ConfigStore:
+    """The external HA store clients refresh configuration from."""
+
+    def __init__(self, sim: Simulator, read_latency: float = 300e-6):
+        self.sim = sim
+        self.read_latency = read_latency
+        self._cells: Dict[str, CellConfig] = {}
+        self.reads = 0
+        self.updates = 0
+
+    def publish(self, config: CellConfig) -> None:
+        """Install or replace a cell's configuration (bumps nothing)."""
+        self._cells[config.name] = config.clone()
+
+    def update(self, name: str, mutate) -> CellConfig:
+        """Apply ``mutate(config)`` and bump the configuration generation."""
+        config = self._cells[name]
+        mutate(config)
+        config.config_id += 1
+        self.updates += 1
+        return config.clone()
+
+    def get(self, name: str) -> Generator:
+        """Read a configuration snapshot (a generator; costs latency)."""
+        yield self.sim.timeout(self.read_latency)
+        self.reads += 1
+        config = self._cells.get(name)
+        if config is None:
+            raise KeyError(f"no such cell {name!r}")
+        return config.clone()
+
+    def peek(self, name: str) -> CellConfig:
+        """Zero-cost read for assertions and controllers."""
+        return self._cells[name].clone()

@@ -1,0 +1,34 @@
+"""CliqueMap-level errors and operation status codes.
+
+Most failure handling in CliqueMap is *not* exception-shaped: the client
+converts every per-attempt hazard (torn read, revoked region, config
+mismatch, inquorate vote) into an internal retry and surfaces only a
+terminal :class:`GetStatus`/:class:`SetStatus` plus a reason string —
+§9's "clients become resilient to a variety of hazards across all layers
+of the stack". The exception type below covers genuine API misuse.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class CliqueMapError(Exception):
+    """Base class for CliqueMap application errors (API misuse, bad
+    configuration); operational failures surface as statuses instead."""
+
+
+class GetStatus(enum.Enum):
+    """Outcome of a GET operation."""
+
+    HIT = "hit"
+    MISS = "miss"
+    ERROR = "error"
+
+
+class SetStatus(enum.Enum):
+    """Outcome of a SET/ERASE/CAS operation."""
+
+    APPLIED = "applied"          # quorum of replicas applied the mutation
+    SUPERSEDED = "superseded"    # a newer version already present
+    FAILED = "failed"            # could not reach enough replicas

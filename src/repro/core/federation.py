@@ -1,0 +1,138 @@
+"""Multi-cell federation: the fleet view (§1, §3).
+
+CliqueMap is "deployed across some 50 production clusters distributed
+among 20 warehouse-scale datacenters". A corpus is typically replicated
+per-cluster: applications talk to the cell in their own datacenter over
+RMA, and fall back to a remote cell over WAN RPC when the local cell
+cannot serve (the Table 1 row-5 posture).
+
+:class:`Federation` wires several cells (one per zone) onto one fabric
+and hands out :class:`FederatedClient` handles that (a) serve GETs from
+the local cell, (b) optionally fall back to remote cells on local
+misses/errors, and (c) fan writes out to every cell (regional writers
+keeping corpus copies in sync — each cell still runs its own internal
+R=3.2 replication underneath).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from ..net import Fabric, FabricConfig
+from ..sim import Simulator
+from .cell import Cell, CellSpec
+from .client import CliqueMapClient
+from .config import LookupStrategy
+from .errors import GetStatus, SetStatus
+
+
+@dataclass
+class FederationSpec:
+    """Zones and the per-zone cell template."""
+
+    zones: List[str] = field(default_factory=lambda: ["dc-a", "dc-b"])
+    cell_spec: CellSpec = field(default_factory=CellSpec)
+    fabric_config: FabricConfig = field(default_factory=FabricConfig)
+
+
+class Federation:
+    """Several cells, one per datacenter, over one simulated world."""
+
+    def __init__(self, spec: Optional[FederationSpec] = None):
+        self.spec = spec or FederationSpec()
+        self.sim = Simulator()
+        self.fabric = Fabric(self.sim, self.spec.fabric_config)
+        self.cells: Dict[str, Cell] = {}
+        for zone in self.spec.zones:
+            self.cells[zone] = self._build_cell(zone)
+
+    def _build_cell(self, zone: str) -> Cell:
+        import copy
+        spec = copy.deepcopy(self.spec.cell_spec)
+        spec.name = f"{spec.name}-{zone}"
+        cell = Cell.__new__(Cell)
+        # Cells share the fabric/sim but place their hosts in their zone;
+        # simplest construction: temporarily wrap add_host.
+        original_add_host = self.fabric.add_host
+
+        def zoned_add_host(name, host_config=None, nic_rate=None,
+                           zone_=zone, **kwargs):
+            return original_add_host(f"{zone_}/{name}", host_config,
+                                     nic_rate, zone=zone_)
+
+        self.fabric.add_host = zoned_add_host
+        try:
+            cell.__init__(spec, sim=self.sim, fabric=self.fabric)
+        finally:
+            self.fabric.add_host = original_add_host
+        return cell
+
+    def cell(self, zone: str) -> Cell:
+        return self.cells[zone]
+
+    def make_client(self, zone: str, remote_fallback: bool = True,
+                    **kwargs) -> "FederatedClient":
+        """A client homed in ``zone``; connect with ``client.connect()``."""
+        local = self.cells[zone]
+        host = self.fabric.add_host(
+            f"{zone}/host/fed-client-{id(object())}", zone=zone)
+        local_client = local.make_client(host=host, **kwargs)
+        remote_clients = {}
+        if remote_fallback:
+            for other_zone, other_cell in self.cells.items():
+                if other_zone == zone:
+                    continue
+                # zone != "local" selects the RPC strategy and
+                # WAN-appropriate deadlines inside make_client.
+                remote_clients[other_zone] = other_cell.make_client(
+                    host=host, strategy=LookupStrategy.RPC, zone=zone)
+        return FederatedClient(zone, local_client, remote_clients)
+
+
+class FederatedClient:
+    """Local-cell RMA serving with WAN RPC fallback to remote cells."""
+
+    def __init__(self, zone: str, local: CliqueMapClient,
+                 remotes: Dict[str, CliqueMapClient]):
+        self.zone = zone
+        self.local = local
+        self.remotes = remotes
+        self.sim = local.sim
+        self.stats = {"local_hits": 0, "remote_hits": 0, "misses": 0}
+
+    def connect(self) -> Generator:
+        yield from self.local.connect()
+        for remote in self.remotes.values():
+            yield from remote.connect()
+
+    def get(self, key: bytes, deadline: Optional[float] = None) -> Generator:
+        """Serve locally; on miss/error, try remote cells over WAN RPC."""
+        result = yield from self.local.get(key, deadline)
+        if result.status is GetStatus.HIT:
+            self.stats["local_hits"] += 1
+            return result
+        for remote in self.remotes.values():
+            remote_result = yield from remote.get(key)
+            if remote_result.status is GetStatus.HIT:
+                self.stats["remote_hits"] += 1
+                # Fill the local cell so the next GET is an RMA hit.
+                yield from self.local.set(key, remote_result.value)
+                return remote_result
+        self.stats["misses"] += 1
+        return result
+
+    def set(self, key: bytes, value: bytes,
+            deadline: Optional[float] = None) -> Generator:
+        """Write everywhere: the local cell plus every remote cell."""
+        result = yield from self.local.set(key, value, deadline)
+        for remote in self.remotes.values():
+            yield from remote.set(key, value)
+        return result
+
+    def erase(self, key: bytes,
+              deadline: Optional[float] = None) -> Generator:
+        result = yield from self.local.erase(key, deadline)
+        for remote in self.remotes.values():
+            yield from remote.erase(key)
+        return result

@@ -1,0 +1,233 @@
+"""The RMA-accessible index region: Buckets of IndexEntries (Fig 1).
+
+The index region is a flat byte array of fixed-size Buckets. Each Bucket
+holds a small header (magic, configuration id, overflow flag) plus a fixed
+number of 64-byte IndexEntries. An IndexEntry is tagged with the 128-bit
+KeyHash, carries the KV pair's VersionNumber (§5.1), and points (region
+id, offset, size) at the DataEntry in the data region.
+
+Both sides speak this byte format: the backend writes entries through
+:class:`IndexRegion`, clients parse raw bucket bytes fetched via RMA with
+:func:`parse_bucket`, and the SCAR program (installed into the software
+NIC) scans the same bytes server-side with :func:`make_scar_program`.
+
+Entries reserve trailing bytes for future evolution — protocol changes
+must be tolerable to deployed readers (§6), which self-validation makes
+safe.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..transport import Arena, MemoryRegion
+from .hashing import KEY_HASH_BYTES, key_hash_to_int
+from .version import VERSION_BYTES, VersionNumber
+
+BUCKET_MAGIC = 0xC11C3A90
+BUCKET_HEADER = struct.Struct("<IIII")     # magic, config_id, flags, reserved
+BUCKET_HEADER_BYTES = BUCKET_HEADER.size   # 16
+
+ENTRY = struct.Struct("<16s16sQQII8x")     # key_hash, version, region, offset,
+ENTRY_BYTES = ENTRY.size                   # size, flags (+8 reserved) = 64
+
+FLAG_OVERFLOW = 0x1        # bucket flag: an entry spilled to the RPC path
+ENTRY_FLAG_VALID = 0x1     # entry flag: slot is occupied
+
+
+def bucket_size(ways: int) -> int:
+    return BUCKET_HEADER_BYTES + ways * ENTRY_BYTES
+
+
+@dataclass(frozen=True)
+class ParsedIndexEntry:
+    """A client-side view of one IndexEntry."""
+
+    way: int
+    key_hash: bytes
+    version: VersionNumber
+    region_id: int
+    offset: int
+    size: int
+    valid: bool
+
+
+@dataclass(frozen=True)
+class ParsedBucket:
+    """A client-side view of one fetched Bucket."""
+
+    config_id: int
+    overflow: bool
+    entries: Tuple[ParsedIndexEntry, ...]
+    magic_ok: bool
+
+    def find(self, key_hash: bytes) -> Optional[ParsedIndexEntry]:
+        for entry in self.entries:
+            if entry.valid and entry.key_hash == key_hash:
+                return entry
+        return None
+
+
+def parse_bucket(data: bytes, ways: int) -> ParsedBucket:
+    """Decode raw bucket bytes fetched via RMA."""
+    if len(data) < bucket_size(ways):
+        raise ValueError(
+            f"bucket bytes too short: {len(data)} < {bucket_size(ways)}")
+    magic, config_id, flags, _reserved = BUCKET_HEADER.unpack_from(data, 0)
+    entries: List[ParsedIndexEntry] = []
+    for way in range(ways):
+        off = BUCKET_HEADER_BYTES + way * ENTRY_BYTES
+        kh, ver, region, offset, size, eflags = ENTRY.unpack_from(data, off)
+        entries.append(ParsedIndexEntry(
+            way=way, key_hash=kh, version=VersionNumber.unpack(ver),
+            region_id=region, offset=offset, size=size,
+            valid=bool(eflags & ENTRY_FLAG_VALID)))
+    return ParsedBucket(config_id=config_id,
+                        overflow=bool(flags & FLAG_OVERFLOW),
+                        entries=tuple(entries),
+                        magic_ok=(magic == BUCKET_MAGIC))
+
+
+def make_scar_program(ways: int):
+    """Build the NIC-resident scan for Scan-and-Read (§6.3).
+
+    Returns ``program(bucket_bytes, key_hash) -> (region, offset, size)``
+    or ``None`` on scan miss — a pure function over raw bytes, exactly the
+    "small computation in the server-side NIC".
+    """
+
+    def program(bucket_bytes: bytes, key_hash: bytes):
+        for way in range(ways):
+            off = BUCKET_HEADER_BYTES + way * ENTRY_BYTES
+            kh, _ver, region, offset, size, eflags = ENTRY.unpack_from(
+                bucket_bytes, off)
+            if (eflags & ENTRY_FLAG_VALID) and kh == key_hash:
+                return (region, offset, size)
+        return None
+
+    return program
+
+
+class IndexRegion:
+    """The backend-side owner of the index bytes.
+
+    All mutation happens here (inside RPC handlers); clients only ever see
+    raw bytes via RMA.
+    """
+
+    def __init__(self, num_buckets: int, ways: int, config_id: int):
+        if num_buckets < 1 or ways < 1:
+            raise ValueError("num_buckets and ways must be positive")
+        self.num_buckets = num_buckets
+        self.ways = ways
+        self.config_id = config_id
+        total = num_buckets * bucket_size(ways)
+        self.arena = Arena(total, total)
+        self.window = MemoryRegion(self.arena)
+        self._used_entries = 0
+        for b in range(num_buckets):
+            self._write_header(b, flags=0)
+
+    # -- geometry -------------------------------------------------------
+
+    @property
+    def bucket_bytes(self) -> int:
+        return bucket_size(self.ways)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.num_buckets * self.bucket_bytes
+
+    def bucket_for(self, key_hash: bytes) -> int:
+        # Low 64 bits pick the bucket (high bits picked the shard).
+        return int.from_bytes(key_hash[:8], "little") % self.num_buckets
+
+    def bucket_offset(self, bucket: int) -> int:
+        if not 0 <= bucket < self.num_buckets:
+            raise IndexError(f"bucket {bucket} out of range")
+        return bucket * self.bucket_bytes
+
+    def entry_offset(self, bucket: int, way: int) -> int:
+        if not 0 <= way < self.ways:
+            raise IndexError(f"way {way} out of range")
+        return self.bucket_offset(bucket) + BUCKET_HEADER_BYTES + \
+            way * ENTRY_BYTES
+
+    @property
+    def load_factor(self) -> float:
+        return self._used_entries / (self.num_buckets * self.ways)
+
+    # -- header ------------------------------------------------------------
+
+    def _write_header(self, bucket: int, flags: int) -> None:
+        self.arena.write(self.bucket_offset(bucket),
+                         BUCKET_HEADER.pack(BUCKET_MAGIC, self.config_id,
+                                            flags, 0))
+
+    def read_flags(self, bucket: int) -> int:
+        raw = self.arena.read(self.bucket_offset(bucket), BUCKET_HEADER_BYTES)
+        return BUCKET_HEADER.unpack(raw)[2]
+
+    def set_overflow(self, bucket: int, value: bool) -> None:
+        flags = self.read_flags(bucket)
+        flags = (flags | FLAG_OVERFLOW) if value else (flags & ~FLAG_OVERFLOW)
+        self._write_header(bucket, flags)
+
+    def set_config_id(self, config_id: int) -> None:
+        """Stamp a new configuration id into every bucket header (§6.1)."""
+        self.config_id = config_id
+        for b in range(self.num_buckets):
+            self._write_header(b, self.read_flags(b))
+
+    # -- entries ----------------------------------------------------------
+
+    def write_entry(self, bucket: int, way: int, key_hash: bytes,
+                    version: VersionNumber, region_id: int, offset: int,
+                    size: int) -> None:
+        was_valid = self.read_entry(bucket, way).valid
+        self.arena.write(
+            self.entry_offset(bucket, way),
+            ENTRY.pack(key_hash, version.pack(), region_id, offset, size,
+                       ENTRY_FLAG_VALID))
+        if not was_valid:
+            self._used_entries += 1
+
+    def clear_entry(self, bucket: int, way: int) -> None:
+        if self.read_entry(bucket, way).valid:
+            self._used_entries -= 1
+        self.arena.write(self.entry_offset(bucket, way), bytes(ENTRY_BYTES))
+
+    def read_entry(self, bucket: int, way: int) -> ParsedIndexEntry:
+        raw = self.arena.read(self.entry_offset(bucket, way), ENTRY_BYTES)
+        kh, ver, region, offset, size, eflags = ENTRY.unpack(raw)
+        return ParsedIndexEntry(
+            way=way, key_hash=kh, version=VersionNumber.unpack(ver),
+            region_id=region, offset=offset, size=size,
+            valid=bool(eflags & ENTRY_FLAG_VALID))
+
+    def find_way(self, bucket: int, key_hash: bytes) -> Optional[int]:
+        for way in range(self.ways):
+            entry = self.read_entry(bucket, way)
+            if entry.valid and entry.key_hash == key_hash:
+                return way
+        return None
+
+    def find_free_way(self, bucket: int) -> Optional[int]:
+        for way in range(self.ways):
+            if not self.read_entry(bucket, way).valid:
+                return way
+        return None
+
+    def entries(self) -> Iterator[Tuple[int, ParsedIndexEntry]]:
+        """Yield (bucket, entry) for every valid entry."""
+        for bucket in range(self.num_buckets):
+            for way in range(self.ways):
+                entry = self.read_entry(bucket, way)
+                if entry.valid:
+                    yield bucket, entry
+
+    @property
+    def used_entries(self) -> int:
+        return self._used_entries

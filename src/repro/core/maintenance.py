@@ -1,0 +1,132 @@
+"""Planned maintenance via warm spares; unplanned crash/restart (§6.1).
+
+Binary upgrades are essentially always in progress at fleet scale. A
+backend notified of planned maintenance migrates its identity and data to
+a *warm spare*; the cell configuration is updated (new generation) and
+every backend stamps the new configuration id into its bucket headers, so
+clients discover the migration during normal response validation and
+refresh from the external HA store — no request ever has to fail over a
+dead server. After the restart, the spare hands the shard back.
+
+Unplanned failures skip the graceful hand-off: the host simply dies, the
+task restarts after a delay, and en-masse repairs (§5.4) repopulate it
+from the healthy cohort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Tuple
+
+from ..rpc import Principal, RpcError, connect as rpc_connect
+from ..sim import Simulator
+
+
+@dataclass
+class MaintenanceConfig:
+    migrate_batch: int = 64            # entries per MigrateIn RPC
+    rpc_deadline: float = 100e-3
+    restart_delay: float = 30.0        # binary restart time (planned)
+    crash_restart_delay: float = 90.0  # reschedule + cold start (unplanned)
+
+
+@dataclass
+class MaintenanceStats:
+    planned_migrations: int = 0
+    entries_migrated: int = 0
+    unplanned_restarts: int = 0
+
+
+class MaintenanceController:
+    """Drives planned and unplanned maintenance events on a cell."""
+
+    def __init__(self, sim: Simulator, cell,
+                 config: Optional[MaintenanceConfig] = None):
+        self.sim = sim
+        self.cell = cell
+        self.config = config or MaintenanceConfig()
+        self.stats = MaintenanceStats()
+
+    # ------------------------------------------------------------------
+    # Planned maintenance
+    # ------------------------------------------------------------------
+
+    def planned_restart(self, shard: int) -> Generator:
+        """Full cycle: migrate to spare, restart primary, migrate back."""
+        primary_task = self.cell.task_for_shard(shard)
+        spare_task = self.cell.take_spare()
+        if spare_task is None:
+            raise RuntimeError("no warm spare available")
+        primary = self.cell.backend_by_task(primary_task)
+        spare = self.cell.backend_by_task(spare_task)
+        self.stats.planned_migrations += 1
+
+        # 1. Transfer identity and data to the spare (RPC traffic).
+        spare.shard = shard
+        yield from self._transfer(primary, spare)
+
+        # 2. Point the shard at the spare and bump the config generation;
+        #    backends stamp the new id into bucket headers so clients
+        #    validating any response notice and refresh.
+        self.cell.repoint_shard(shard, spare_task, spare_role=True)
+
+        # 3. The primary exits and restarts with the new binary.
+        primary.stop()
+        yield self.sim.timeout(self.config.restart_delay)
+        restarted = self.cell.restart_backend_task(primary_task, shard=shard)
+
+        # 4. The spare returns the shard's data (RPC traffic again), then
+        #    releases its copy (a non-disruptive restart to empty state,
+        #    freeing the DRAM for the next maintenance event).
+        yield from self._transfer(spare, restarted)
+        self.cell.return_spare(spare_task)
+        self.cell.repoint_shard(shard, primary_task, spare_role=False)
+        spare.stop()
+        self.cell.restart_backend_task(spare_task, shard=-1)
+
+    def _transfer(self, source, target) -> Generator:
+        """Stream every resident entry from source to target in batches."""
+        entries = source.snapshot_entries()
+        channel = rpc_connect(
+            self.sim, self.cell.fabric, source.host, target.rpc_server,
+            Principal(f"migrate@{source.task_name}"),
+            client_component=f"migrate:{source.task_name}")
+        batch: List[Tuple[bytes, bytes, bytes]] = []
+        for entry in entries:
+            batch.append(entry)
+            if len(batch) >= self.config.migrate_batch:
+                yield from self._send_batch(channel, batch)
+                self.stats.entries_migrated += len(batch)
+                batch = []
+        if batch:
+            yield from self._send_batch(channel, batch)
+            self.stats.entries_migrated += len(batch)
+
+    def _send_batch(self, channel, batch) -> Generator:
+        size = sum(len(k) + len(v) + 32 for k, v, _ in batch)
+        try:
+            yield from channel.call("MigrateIn", {"entries": batch},
+                                    deadline=self.config.rpc_deadline,
+                                    request_size=size)
+        except RpcError:
+            pass  # repairs will reconcile any gap
+
+    # ------------------------------------------------------------------
+    # Unplanned maintenance
+    # ------------------------------------------------------------------
+
+    def unplanned_crash(self, shard: int,
+                        restart_delay: Optional[float] = None) -> Generator:
+        """Forcibly crash the shard's backend, restart it later, repair."""
+        task = self.cell.task_for_shard(shard)
+        backend = self.cell.backend_by_task(task)
+        backend.crash()
+        self.stats.unplanned_restarts += 1
+        yield self.sim.timeout(restart_delay
+                               if restart_delay is not None
+                               else self.config.crash_restart_delay)
+        restarted = self.cell.restart_backend_task(task, shard=shard)
+        scanner = self.cell.scanner_for(task)
+        if scanner is not None:
+            yield from scanner.restart_recovery()
+        return restarted

@@ -1,0 +1,109 @@
+"""Client-side quorum evaluation for replicated GETs (§5.1).
+
+Under R=3.2 a GET fetches IndexEntries from all three replicas and takes a
+per-KV-pair majority vote on (KeyHash, VersionNumber). A *present* vote is
+the entry's version; an *absent* vote is the key's absence from a fetched
+bucket. Two matching votes decide; a slow or failed third replica can be
+ignored — the property that both masks single failures and lets the client
+prefer the first responder.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .index import ParsedIndexEntry
+from .version import VersionNumber
+
+
+class VoteKind(enum.Enum):
+    """What a replica's fetched bucket said about the key."""
+
+    PRESENT = "present"
+    ABSENT = "absent"
+    ERROR = "error"       # fetch failed; contributes nothing
+
+
+@dataclass(frozen=True)
+class ReplicaVote:
+    """One replica's answer to "what do you know about this key?"."""
+
+    task: str
+    kind: VoteKind
+    version: Optional[VersionNumber] = None
+    entry: Optional[ParsedIndexEntry] = None
+
+    @classmethod
+    def present(cls, task: str, entry: ParsedIndexEntry) -> "ReplicaVote":
+        return cls(task=task, kind=VoteKind.PRESENT, version=entry.version,
+                   entry=entry)
+
+    @classmethod
+    def absent(cls, task: str) -> "ReplicaVote":
+        return cls(task=task, kind=VoteKind.ABSENT)
+
+    @classmethod
+    def error(cls, task: str) -> "ReplicaVote":
+        return cls(task=task, kind=VoteKind.ERROR)
+
+
+class QuorumOutcome(enum.Enum):
+    """Result of evaluating the votes received so far."""
+
+    PRESENT = "present"     # >= quorum agree the key exists at one version
+    ABSENT = "absent"       # >= quorum agree the key does not exist
+    UNDECIDED = "undecided"  # more votes could still settle it
+    INQUORATE = "inquorate"  # all votes in; no majority exists
+
+
+@dataclass
+class QuorumDecision:
+    outcome: QuorumOutcome
+    version: Optional[VersionNumber] = None
+    members: Tuple[str, ...] = ()
+    # True when the decision is clean: all replicas (not just a quorum)
+    # agree. A two-of-three agreement is a *dirty quorum* (§5.4).
+    unanimous: bool = False
+
+    def includes(self, task: str) -> bool:
+        return task in self.members
+
+
+def evaluate(votes: List[ReplicaVote], total_replicas: int,
+             quorum: int) -> QuorumDecision:
+    """Evaluate the votes received so far.
+
+    ``votes`` holds every response received (including errors);
+    ``total_replicas`` is how many were asked. Returns UNDECIDED while an
+    outstanding response could still change the outcome.
+    """
+    tallies: dict = {}
+    for vote in votes:
+        if vote.kind == VoteKind.ERROR:
+            continue
+        key = vote.version if vote.kind == VoteKind.PRESENT else None
+        tallies.setdefault(key, []).append(vote.task)
+
+    # A decided quorum right now?
+    best_key, best_tasks = None, ()
+    for key, tasks in tallies.items():
+        if len(tasks) >= quorum and len(tasks) > len(best_tasks):
+            best_key, best_tasks = key, tuple(tasks)
+    if best_tasks:
+        usable = sum(1 for v in votes if v.kind != VoteKind.ERROR)
+        unanimous = (len(best_tasks) == total_replicas)
+        if best_key is None:
+            return QuorumDecision(QuorumOutcome.ABSENT, members=best_tasks,
+                                  unanimous=unanimous)
+        return QuorumDecision(QuorumOutcome.PRESENT, version=best_key,
+                              members=best_tasks, unanimous=unanimous)
+
+    outstanding = total_replicas - len(votes)
+    if outstanding > 0:
+        # Could any tally still reach quorum with the outstanding votes?
+        best_current = max((len(t) for t in tallies.values()), default=0)
+        if best_current + outstanding >= quorum:
+            return QuorumDecision(QuorumOutcome.UNDECIDED)
+    return QuorumDecision(QuorumOutcome.INQUORATE)

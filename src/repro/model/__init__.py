@@ -1,0 +1,12 @@
+"""Explicit-state model checking of the R=3.2 protocol (TLA+-style)."""
+
+from .checker import (CheckResult, Counterexample, check,
+                      check_double_failure_breaks, check_invariants,
+                      successors)
+from .state import ABSENT, QUORUM, REPLICAS, ModelState, Mutation
+
+__all__ = [
+    "CheckResult", "Counterexample", "check", "check_double_failure_breaks",
+    "check_invariants", "successors",
+    "ABSENT", "QUORUM", "REPLICAS", "ModelState", "Mutation",
+]

@@ -1,0 +1,157 @@
+"""Datacenter fabric: hosts wired together with propagation + queueing.
+
+The fabric owns host creation and message delivery. Delivery of a payload
+from host A to host B is modeled as::
+
+    serialize through A.egress  ->  propagation delay (+jitter)
+        ->  serialize through B.ingress
+
+which captures the three effects the paper's controlled experiments rely
+on: sender bottlenecks, receiver incast, and base round-trip latency. The
+core fabric is assumed non-blocking (as in a full-bisection CLOS), so
+contention only occurs at host NICs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Optional
+
+from ..sim import Process, RandomStream, Simulator
+from .host import Host, HostConfig
+from .nic import MtuConfig, Nic, gbps
+
+
+class NetworkDropError(Exception):
+    """Delivery dropped by a network partition; detected by timeout."""
+
+    def __init__(self, src: str, dst: str):
+        super().__init__(f"packets from {src} to {dst} are being dropped")
+        self.src = src
+        self.dst = dst
+
+
+@dataclass
+class FabricConfig:
+    """Fabric-wide parameters."""
+
+    host_rate_bytes_per_sec: float = gbps(50.0)   # 50 Gbps sustained (§7.2.4)
+    one_way_delay: float = 4e-6                   # propagation + switching
+    delay_jitter: float = 0.5e-6                  # uniform jitter bound
+    # Cross-zone (WAN) one-way delay between datacenters; RMA is not
+    # applicable across the WAN — only RPC traffic crosses zones.
+    inter_zone_delay: float = 15e-3
+    # How long a sender waits before concluding its packets are being
+    # dropped (retransmission timeout stand-in).
+    partition_detect_delay: float = 150e-6
+    mtu: MtuConfig = field(default_factory=MtuConfig)
+    seed: int = 1
+
+
+class Fabric:
+    """A set of hosts and the links between them."""
+
+    def __init__(self, sim: Simulator, config: Optional[FabricConfig] = None):
+        self.sim = sim
+        self.config = config or FabricConfig()
+        self.hosts: Dict[str, Host] = {}
+        self._rand = RandomStream(self.config.seed, "fabric")
+        self._partitions: set = set()
+
+    # -- topology -----------------------------------------------------------
+
+    def add_host(self, name: str,
+                 host_config: Optional[HostConfig] = None,
+                 nic_rate: Optional[float] = None,
+                 zone: str = "local") -> Host:
+        """Create a host with an attached NIC and register it.
+
+        ``zone`` names the datacenter; deliveries between zones pay the
+        WAN delay instead of the intra-fabric delay."""
+        if name in self.hosts:
+            raise ValueError(f"duplicate host name {name!r}")
+        host = Host(self.sim, name, host_config)
+        host.zone = zone
+        rate = nic_rate if nic_rate is not None \
+            else self.config.host_rate_bytes_per_sec
+        host.nic = Nic(self.sim, name, rate, self.config.mtu)
+        self.hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        return self.hosts[name]
+
+    # -- delivery -------------------------------------------------------------
+
+    def deliver(self, src: Host, dst: Host, payload_bytes: int,
+                priority: int = 0) -> Generator:
+        """Move ``payload_bytes`` from ``src`` to ``dst`` (a generator).
+
+        Completes when the last byte has been received. Loopback delivery
+        (src is dst) skips the NIC entirely.
+        """
+        if src is dst:
+            yield self.sim.timeout(1e-7)
+            return
+        if self.is_partitioned(src, dst):
+            # Packets vanish; the sender learns via (re)transmit timeout.
+            yield self.sim.timeout(self.config.partition_detect_delay)
+            raise NetworkDropError(src.name, dst.name)
+        wire = self.config.mtu.wire_bytes(payload_bytes)
+        yield from src.nic.egress.transmit(wire, priority)
+        same_zone = getattr(src, "zone", "local") == \
+            getattr(dst, "zone", "local")
+        delay = self.config.one_way_delay if same_zone \
+            else self.config.inter_zone_delay
+        if self.config.delay_jitter:
+            delay += self._rand.uniform(0.0, self.config.delay_jitter)
+        yield self.sim.timeout(delay)
+        yield from dst.nic.ingress.transmit(wire, priority)
+
+    # -- partitions -----------------------------------------------------------
+
+    def partition(self, a: Host, b: Host) -> None:
+        """Drop all traffic between ``a`` and ``b`` (both directions)."""
+        self._partitions.add(frozenset((a.name, b.name)))
+
+    def heal(self, a: Host, b: Host) -> None:
+        self._partitions.discard(frozenset((a.name, b.name)))
+
+    def heal_all(self) -> None:
+        self._partitions.clear()
+
+    def is_partitioned(self, a: Host, b: Host) -> bool:
+        return frozenset((a.name, b.name)) in self._partitions
+
+    # -- background antagonist traffic ---------------------------------------
+
+    def start_antagonist(self, target: Host, offered_bytes_per_sec: float,
+                         direction: str = "both",
+                         chunk_bytes: int = 64 * 1024) -> Process:
+        """Offer competing traffic through ``target``'s NIC.
+
+        Models the §7.2.1 antagonist that pushes ~95 Gbps of demand through
+        one backend's NIC. Traffic is an open loop of fixed-size chunks at
+        the offered rate; chunks queue behind (and delay) CliqueMap's own
+        transfers on the same links.
+        """
+        if direction not in ("egress", "ingress", "both"):
+            raise ValueError(f"bad antagonist direction {direction!r}")
+
+        def chunk_sender(link):
+            yield from link.transmit(chunk_bytes)
+
+        def antagonist():
+            interval = chunk_bytes / offered_bytes_per_sec
+            rand = self._rand.child(f"antagonist:{target.name}")
+            while True:
+                if direction in ("egress", "both"):
+                    self.sim.process(chunk_sender(target.nic.egress))
+                if direction in ("ingress", "both"):
+                    self.sim.process(chunk_sender(target.nic.ingress))
+                yield self.sim.timeout(rand.expovariate(1.0 / interval))
+
+        proc = self.sim.process(antagonist(),
+                                name=f"antagonist:{target.name}")
+        proc.defused = True
+        return proc

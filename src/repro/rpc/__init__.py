@@ -1,0 +1,18 @@
+"""Stubby-like RPC framework: channels, servers, auth, versioning."""
+
+from .auth import (Acl, AuthConfig, Authenticator, PermissionDeniedError,
+                   Principal)
+from .stubby import (ApplicationError, DeadlineExceededError, HandlerContext,
+                     MethodNotFoundError, RpcChannel, RpcCostModel, RpcError,
+                     RpcMetrics, RpcServer, UnavailableError,
+                     VersionMismatchError, connect)
+from .wire import ENVELOPE_OVERHEAD_BYTES, Message, ProtocolVersion, estimate_size
+
+__all__ = [
+    "Acl", "AuthConfig", "Authenticator", "PermissionDeniedError", "Principal",
+    "ApplicationError", "DeadlineExceededError", "HandlerContext",
+    "MethodNotFoundError", "RpcChannel", "RpcCostModel", "RpcError",
+    "RpcMetrics", "RpcServer", "UnavailableError", "VersionMismatchError",
+    "connect",
+    "ENVELOPE_OVERHEAD_BYTES", "Message", "ProtocolVersion", "estimate_size",
+]

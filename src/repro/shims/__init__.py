@@ -1,0 +1,7 @@
+"""Multi-language access: shims over a subprocess C++ client (§6.2)."""
+
+from .pipe import NamedPipe, PipePair
+from .shim import PROFILES, LanguageProfile, LanguageShim, make_shim
+
+__all__ = ["NamedPipe", "PipePair", "PROFILES", "LanguageProfile",
+           "LanguageShim", "make_shim"]

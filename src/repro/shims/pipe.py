@@ -1,0 +1,58 @@
+"""Named-pipe IPC model for language shims (§6.2).
+
+Each non-C++ language shim launches the real C++ CliqueMap client in a
+subprocess and talks to it over named pipes — a simple abstraction every
+language has. A pipe transfer costs a syscall/wakeup latency plus
+serialization at a copy bandwidth; concurrent messages through one pipe
+serialize FIFO.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim import Resource, Simulator
+
+
+class NamedPipe:
+    """A unidirectional byte pipe between two processes on one host."""
+
+    def __init__(self, sim: Simulator, latency: float,
+                 bytes_per_sec: float, name: str = ""):
+        if bytes_per_sec <= 0:
+            raise ValueError("pipe bandwidth must be positive")
+        self.sim = sim
+        self.latency = latency
+        self.bytes_per_sec = bytes_per_sec
+        self.name = name
+        self._server = Resource(sim, capacity=1, name=f"pipe:{name}")
+        self.messages = 0
+        self.bytes_carried = 0
+
+    def transfer(self, nbytes: int) -> Generator:
+        """Move one message of ``nbytes`` through the pipe."""
+        request = self._server.request()
+        yield request
+        try:
+            yield self.sim.timeout(self.latency +
+                                   nbytes / self.bytes_per_sec)
+            self.messages += 1
+            self.bytes_carried += nbytes
+        finally:
+            self._server.release(request)
+
+
+class PipePair:
+    """Request and response pipes between a shim and its subprocess."""
+
+    def __init__(self, sim: Simulator, latency: float, bytes_per_sec: float,
+                 name: str = ""):
+        self.to_subprocess = NamedPipe(sim, latency, bytes_per_sec,
+                                       f"{name}.req")
+        self.from_subprocess = NamedPipe(sim, latency, bytes_per_sec,
+                                         f"{name}.resp")
+
+    def round_trip(self, request_bytes: int,
+                   response_bytes: int) -> Generator:
+        yield from self.to_subprocess.transfer(request_bytes)
+        yield from self.from_subprocess.transfer(response_bytes)

@@ -1,0 +1,12 @@
+"""Discrete-event simulation kernel (events, processes, resources, RNG)."""
+
+from .core import (AllOf, AnyOf, Event, Interrupt, Process, SimulationError,
+                   Simulator, Timeout)
+from .rand import MixtureSizeDistribution, RandomStream, ZipfSampler, percentile
+from .resources import Request, Resource, Store
+
+__all__ = [
+    "AllOf", "AnyOf", "Event", "Interrupt", "Process", "SimulationError",
+    "Simulator", "Timeout", "Request", "Resource", "Store",
+    "RandomStream", "ZipfSampler", "MixtureSizeDistribution", "percentile",
+]

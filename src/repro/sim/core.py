@@ -1,0 +1,367 @@
+"""Discrete-event simulation kernel.
+
+This is the substrate every other subsystem runs on: simulated hosts, NICs,
+transports, RPCs, and the CliqueMap cell itself are all processes scheduled
+by the :class:`Simulator` here.
+
+The model follows the classic generator-process style (as popularized by
+simpy, re-implemented from scratch): a *process* is a generator that yields
+:class:`Event` objects and is resumed when the yielded event triggers.
+Simulated time is a float number of seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value supplied to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class StopSimulation(Exception):
+    """Internal: raised to stop :meth:`Simulator.run` at an ``until`` event."""
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, becomes *triggered* when :meth:`succeed` or
+    :meth:`fail` is called, and is *processed* once its callbacks have run.
+    Processes wait on events by yielding them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered",
+                 "_processed", "defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+        # A failed event with no callbacks re-raises inside run() unless it
+        # has been explicitly defused (e.g. fire-and-forget processes).
+        self.defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if not self._triggered:
+            raise SimulationError("event has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event has not been triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event as failed with exception ``exc``."""
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = False
+        self._value = exc
+        self.sim._schedule_event(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event is processed.
+
+        If the event has already been processed the callback is scheduled to
+        run immediately (at the current simulated time).
+        """
+        if self.callbacks is None:
+            self.sim.call_soon(fn, self)
+        else:
+            self.callbacks.append(fn)
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if not self._ok and not callbacks and not self.defused:
+            raise self._value
+        for fn in callbacks or ():
+            fn(self)
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` seconds in the future."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        sim._schedule_event(self, delay)
+
+
+class Process(Event):
+    """A running generator process; also an event that triggers on exit.
+
+    The process succeeds with the generator's return value, or fails with
+    the exception that escaped it.
+    """
+
+    __slots__ = ("_gen", "_wait_serial", "name")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(gen, "send"):
+            raise SimulationError("process() requires a generator")
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        # Serial number of the wait we are parked on; bumped by interrupt()
+        # so that a late-firing original event cannot double-resume us.
+        self._wait_serial = 0
+        sim.call_soon(self._resume_with, None, self._wait_serial)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            return
+        self._wait_serial += 1
+        self.sim.call_soon(self._throw_with, Interrupt(cause),
+                           self._wait_serial)
+
+    def _on_wait_done(self, serial: int, event: Event) -> None:
+        if serial != self._wait_serial or self._triggered:
+            return  # stale wake-up (we were interrupted meanwhile)
+        if event.ok:
+            self._resume_with(event.value, serial)
+        else:
+            event.defused = True
+            self._throw_with(event.value, serial)
+
+    def _resume_with(self, value: Any, serial: int) -> None:
+        if serial != self._wait_serial or self._triggered:
+            return
+        self._step(lambda: self._gen.send(value))
+
+    def _throw_with(self, exc: BaseException, serial: int) -> None:
+        if self._triggered:
+            return
+        self._step(lambda: self._gen.throw(exc))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - process died
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.fail(SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        if target is self:
+            self.fail(SimulationError("process cannot wait on itself"))
+            return
+        self._wait_serial += 1
+        serial = self._wait_serial
+        target.add_callback(lambda ev: self._on_wait_done(serial, ev))
+
+
+class Condition(Event):
+    """Base for composite events over a set of child events."""
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if not self._events:
+            self.succeed([])
+            return
+        for ev in self._events:
+            ev.add_callback(self._child_done)
+
+    def _child_done(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Triggers when every child has triggered; value is the list of values.
+
+    Fails (with the first failure) if any child fails.
+    """
+
+    __slots__ = ()
+
+    def _child_done(self, event: Event) -> None:
+        if self._triggered:
+            if not event.ok:
+                event.defused = True
+            return
+        if not event.ok:
+            event.defused = True
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([ev.value for ev in self._events])
+
+
+class AnyOf(Condition):
+    """Triggers when the first child triggers; value is ``(event, value)``.
+
+    Fails if the first child to trigger failed. Later children are defused.
+    """
+
+    __slots__ = ()
+
+    def _child_done(self, event: Event) -> None:
+        if self._triggered:
+            if not event.ok:
+                event.defused = True
+            return
+        if event.ok:
+            self.succeed((event, event.value))
+        else:
+            event.defused = True
+            self.fail(event.value)
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, seq, action) entries."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq = 0
+        self._running = False
+
+    # -- scheduling ------------------------------------------------------
+
+    def _push(self, delay: float, action: Callable[[], None]) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, action))
+
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        self._push(delay, event._process)
+
+    def call_soon(self, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at the current simulated time."""
+        self._push(0.0, lambda: fn(*args))
+
+    def call_in(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        self._push(delay, lambda: fn(*args))
+
+    # -- event constructors ----------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- running ----------------------------------------------------------
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), a number
+        (run until that simulated time), or an :class:`Event` (run until it
+        triggers; its value is returned).
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        stop_event: Optional[Event] = None
+        deadline: Optional[float] = None
+        if isinstance(until, Event):
+            stop_event = until
+            stop_event.add_callback(self._stop_callback)
+        elif until is not None:
+            deadline = float(until)
+            if deadline < self.now:
+                raise SimulationError("until lies in the past")
+
+        self._running = True
+        try:
+            while self._heap:
+                at, _seq, action = self._heap[0]
+                if deadline is not None and at > deadline:
+                    break
+                heapq.heappop(self._heap)
+                self.now = at
+                try:
+                    action()
+                except StopSimulation:
+                    break
+            if deadline is not None and self.now < deadline:
+                self.now = deadline
+        finally:
+            self._running = False
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "simulation ended before the until-event triggered")
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        raise StopSimulation
+
+    def peek(self) -> float:
+        """Time of the next scheduled action, or ``inf`` when idle."""
+        return self._heap[0][0] if self._heap else float("inf")

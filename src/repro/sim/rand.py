@@ -1,0 +1,145 @@
+"""Deterministic random streams and workload distributions.
+
+Every stochastic component draws from its own named :class:`RandomStream`
+derived from a single experiment seed, so simulations are reproducible and
+individual components can be re-seeded without perturbing others.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import math
+import random
+from typing import List, Sequence, Tuple
+
+
+class RandomStream:
+    """A seeded random source with the distributions the workloads need."""
+
+    def __init__(self, seed: int, name: str = ""):
+        digest = hashlib.blake2b(
+            f"{seed}/{name}".encode(), digest_size=8).digest()
+        self._rng = random.Random(int.from_bytes(digest, "big"))
+        self.name = name
+
+    def child(self, name: str) -> "RandomStream":
+        """Derive an independent stream for a sub-component."""
+        return RandomStream(self._rng.randrange(2 ** 62), name)
+
+    # -- basic draws --------------------------------------------------------
+
+    def uniform(self, lo: float, hi: float) -> float:
+        return self._rng.uniform(lo, hi)
+
+    def randint(self, lo: int, hi: int) -> int:
+        return self._rng.randint(lo, hi)
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def choice(self, seq: Sequence):
+        return self._rng.choice(seq)
+
+    def sample(self, seq: Sequence, k: int):
+        return self._rng.sample(seq, k)
+
+    def shuffle(self, seq: List) -> None:
+        self._rng.shuffle(seq)
+
+    def expovariate(self, rate: float) -> float:
+        """Exponential inter-arrival time for a Poisson process of ``rate``."""
+        return self._rng.expovariate(rate)
+
+    def lognormal(self, mu: float, sigma: float) -> float:
+        return self._rng.lognormvariate(mu, sigma)
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        return self._rng.gauss(mu, sigma)
+
+    def bytes(self, n: int) -> bytes:
+        return self._rng.randbytes(n)
+
+    def bernoulli(self, p: float) -> bool:
+        return self._rng.random() < p
+
+
+class ZipfSampler:
+    """Draws ranks in ``[0, n)`` with probability proportional to 1/(r+1)^s.
+
+    Uses a precomputed CDF with binary search, which is exact and fast for
+    the corpus sizes simulated here.
+    """
+
+    def __init__(self, stream: RandomStream, n: int, s: float = 0.99):
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self._stream = stream
+        self.n = n
+        self.s = s
+        weights = [1.0 / (r + 1) ** s for r in range(n)]
+        total = math.fsum(weights)
+        cdf = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cdf.append(acc)
+        cdf[-1] = 1.0
+        self._cdf = cdf
+
+    def sample(self) -> int:
+        u = self._stream.random()
+        return bisect.bisect_left(self._cdf, u)
+
+
+class MixtureSizeDistribution:
+    """Object sizes drawn from a weighted mixture of lognormal components.
+
+    Used to shape the Ads / Geo object-size CDFs of Figure 10: a body of
+    small objects with a tail of much larger ones.
+    """
+
+    def __init__(self, stream: RandomStream,
+                 components: Sequence[Tuple[float, float, float]],
+                 min_size: int = 8, max_size: int = 8 * 1024 * 1024):
+        """``components`` is a list of ``(weight, mu, sigma)`` for lognormals
+        over bytes."""
+        if not components:
+            raise ValueError("at least one mixture component required")
+        total = sum(w for w, _mu, _sig in components)
+        self._components = [(w / total, mu, sig) for w, mu, sig in components]
+        self._stream = stream
+        self.min_size = min_size
+        self.max_size = max_size
+
+    def sample(self) -> int:
+        u = self._stream.random()
+        acc = 0.0
+        mu = sigma = 0.0
+        for w, m, s in self._components:
+            acc += w
+            mu, sigma = m, s
+            if u <= acc:
+                break
+        size = int(self._stream.lognormal(mu, sigma))
+        return max(self.min_size, min(self.max_size, size))
+
+    def cdf_points(self, samples: int = 20000) -> List[Tuple[int, float]]:
+        """Empirical CDF as (size, fraction<=size) points for reporting."""
+        draws = sorted(self.sample() for _ in range(samples))
+        step = max(1, samples // 200)
+        return [(draws[i], (i + 1) / samples)
+                for i in range(0, samples, step)] + [(draws[-1], 1.0)]
+
+
+def percentile(sorted_values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile over pre-sorted values; ``p`` in [0, 100]."""
+    if not sorted_values:
+        raise ValueError("no values")
+    if p <= 0:
+        return sorted_values[0]
+    if p >= 100:
+        return sorted_values[-1]
+    rank = max(0, min(len(sorted_values) - 1,
+                      math.ceil(p / 100.0 * len(sorted_values)) - 1))
+    return sorted_values[rank]

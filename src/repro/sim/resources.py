@@ -1,0 +1,167 @@
+"""Shared-resource primitives for simulation processes.
+
+:class:`Resource` models a pool of interchangeable servers (CPU cores, NIC
+engines, link slots): processes request a slot, hold it for some simulated
+time, and release it. :class:`Store` is a FIFO queue of items between
+producer and consumer processes.
+
+Both track utilization so higher layers (Pony Express scale-out, CPU
+accounting) can make load-driven decisions.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from .core import Event, SimulationError, Simulator
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource", "priority", "_seq")
+
+    def __init__(self, resource: "Resource", priority: int, seq: int):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+        self._seq = seq
+
+    def sort_key(self):
+        return (self.priority, self._seq)
+
+
+class Resource:
+    """A pool of ``capacity`` identical slots with a priority/FIFO queue."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError("capacity must be >= 1")
+        self.sim = sim
+        self.name = name
+        self._capacity = capacity
+        self._users: List[Request] = []
+        self._queue: List[Request] = []
+        self._seq = 0
+        # Utilization accounting: integral of busy slots over time.
+        self._busy_integral = 0.0
+        self._last_change = sim.now
+
+    # -- capacity ---------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def set_capacity(self, capacity: int) -> None:
+        """Grow or shrink the pool; shrinking never evicts current users."""
+        if capacity < 1:
+            raise SimulationError("capacity must be >= 1")
+        self._account()
+        self._capacity = capacity
+        self._grant()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._queue)
+
+    # -- accounting ---------------------------------------------------------
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_integral += len(self._users) * (now - self._last_change)
+        self._last_change = now
+
+    def utilization(self, since_integral: float = 0.0,
+                    since_time: float = 0.0) -> float:
+        """Mean busy-slot count per slot since the given checkpoint."""
+        self._account()
+        elapsed = self.sim.now - since_time
+        if elapsed <= 0:
+            return 0.0
+        return (self._busy_integral - since_integral) / elapsed / self._capacity
+
+    def checkpoint(self):
+        """Return an opaque checkpoint for :meth:`utilization`."""
+        self._account()
+        return (self._busy_integral, self.sim.now)
+
+    def utilization_since(self, checkpoint) -> float:
+        return self.utilization(*checkpoint)
+
+    @property
+    def busy_slot_seconds(self) -> float:
+        self._account()
+        return self._busy_integral
+
+    # -- request/release ---------------------------------------------------
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim a slot; the returned event triggers when it is granted."""
+        self._seq += 1
+        req = Request(self, priority, self._seq)
+        bisect.insort(self._queue, req, key=Request.sort_key)
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously-granted slot to the pool."""
+        if request in self._users:
+            self._account()
+            self._users.remove(request)
+            self._grant()
+        elif request in self._queue:
+            self._queue.remove(request)
+        else:
+            raise SimulationError("release of unknown request")
+
+    def _grant(self) -> None:
+        while self._queue and len(self._users) < self._capacity:
+            req = self._queue.pop(0)
+            self._account()
+            self._users.append(req)
+            req.succeed(req)
+
+
+class Store:
+    """An unbounded FIFO of items; ``get`` blocks until an item arrives."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking the oldest waiting getter if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that triggers with the next available item."""
+        ev = self.sim.event()
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; returns ``None`` when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None

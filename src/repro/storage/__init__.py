@@ -1,0 +1,7 @@
+"""Durable storage substrate: system of record + immutable-corpus loader."""
+
+from .loader import CorpusLoader, LoadReport
+from .sor import StorageCostModel, SystemOfRecord
+
+__all__ = ["CorpusLoader", "LoadReport", "StorageCostModel",
+           "SystemOfRecord"]

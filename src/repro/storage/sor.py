@@ -1,0 +1,115 @@
+"""A durable system of record (§6.4).
+
+Google's durable storage ecosystem (Bigtable/Spanner-class systems over
+persistent media) is the source of truth for R=2/Immutable corpora: the
+cache is loaded from it, and cache misses fall back to it at persistent-
+storage latency. The simulation models what matters to CliqueMap:
+
+* reads cost media latency (and queue behind a bounded set of media
+  channels), so they are orders of magnitude slower than an RMA GET;
+* a Scan interface supports bulk corpus loading;
+* the corpus is immutable once sealed, matching §6.4's mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..net import Host
+from ..rpc import HandlerContext, RpcServer
+from ..sim import Resource, Simulator
+
+
+@dataclass
+class StorageCostModel:
+    """Persistent-media access costs."""
+
+    media_latency: float = 1.5e-3        # seek/lookup on persistent media
+    bytes_per_sec: float = 400e6         # media transfer bandwidth
+    media_channels: int = 8              # concurrent accesses before queueing
+    cpu_per_read: float = 10e-6          # storage-server CPU per request
+
+
+class SystemOfRecord:
+    """A durable KV store served over RPC."""
+
+    def __init__(self, sim: Simulator, host: Host,
+                 cost: Optional[StorageCostModel] = None,
+                 name: str = "sor"):
+        self.sim = sim
+        self.host = host
+        self.cost = cost or StorageCostModel()
+        self.name = name
+        self._data: Dict[bytes, bytes] = {}
+        self._keys_ordered: List[bytes] = []
+        self._sealed = False
+        self._media = Resource(sim, capacity=self.cost.media_channels,
+                               name=f"{name}.media")
+        self.reads = 0
+        self.rpc_server = RpcServer(sim, host, f"storage/{name}")
+        self.rpc_server.register("Read", self._handle_read)
+        self.rpc_server.register("Scan", self._handle_scan)
+
+    # -- corpus management ------------------------------------------------
+
+    def ingest(self, items: Dict[bytes, bytes]) -> None:
+        """Write the corpus (build time; not on the serving path)."""
+        if self._sealed:
+            raise RuntimeError("corpus is sealed (immutable)")
+        for key, value in items.items():
+            if key not in self._data:
+                self._keys_ordered.append(key)
+            self._data[key] = value
+
+    def seal(self) -> None:
+        """Freeze the corpus: it is immutable from now on (§6.4)."""
+        self._sealed = True
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # -- media access -----------------------------------------------------------
+
+    def _media_read(self, nbytes: int) -> Generator:
+        request = self._media.request()
+        yield request
+        try:
+            yield self.sim.timeout(self.cost.media_latency +
+                                   nbytes / self.cost.bytes_per_sec)
+        finally:
+            self._media.release(request)
+
+    # -- RPC handlers -----------------------------------------------------------
+
+    def _handle_read(self, payload, context: HandlerContext) -> Generator:
+        key: bytes = payload["key"]
+        yield from self.host.execute(self.cost.cpu_per_read,
+                                     f"storage:{self.name}")
+        value = self._data.get(key)
+        yield from self._media_read(len(value) if value else 0)
+        self.reads += 1
+        if value is None:
+            return {"found": False}
+        context.response_size_override = len(value) + 32
+        return {"found": True, "value": value}
+
+    def _handle_scan(self, payload, context: HandlerContext) -> Generator:
+        """Cursor-based bulk scan for corpus loading."""
+        cursor: int = payload.get("cursor", 0)
+        limit: int = payload.get("limit", 64)
+        yield from self.host.execute(self.cost.cpu_per_read,
+                                     f"storage:{self.name}")
+        keys = self._keys_ordered[cursor:cursor + limit]
+        entries: List[Tuple[bytes, bytes]] = [(k, self._data[k])
+                                              for k in keys]
+        total = sum(len(k) + len(v) for k, v in entries)
+        yield from self._media_read(total)
+        context.response_size_override = total + 64
+        return {"entries": entries,
+                "next_cursor": cursor + len(keys),
+                "done": cursor + len(keys) >= len(self._keys_ordered)}

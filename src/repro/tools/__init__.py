@@ -1,0 +1,5 @@
+"""Operator command-line tools (run with ``python -m repro.tools``)."""
+
+from .cli import build_parser, main
+
+__all__ = ["build_parser", "main"]

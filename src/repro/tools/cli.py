@@ -1,0 +1,236 @@
+"""Operator command-line tools.
+
+Run with ``python -m repro.tools <command>``:
+
+* ``quickstart``   — stand up a cell, run basic ops, print latencies.
+* ``ads`` / ``geo`` — run the production-shaped workloads and print the
+  Figure 8/9-style summaries.
+* ``drill``        — planned + unplanned maintenance drills (Figs 13/14).
+* ``snapshot``     — run a short mixed workload and print the monitoring
+  dashboard snapshot.
+* ``model-check``  — explicit-state check of the R=3.2 protocol.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_quickstart(args: argparse.Namespace) -> int:
+    from ..core import Cell, CellSpec, LookupStrategy, ReplicationMode
+
+    cell = Cell(CellSpec(mode=ReplicationMode.R3_2,
+                         num_shards=args.shards, transport=args.transport))
+    client = cell.connect_client()
+    rpc_client = cell.connect_client(strategy=LookupStrategy.RPC)
+
+    def app():
+        yield from client.set(b"k", b"v" * 128)
+        rma = yield from client.get(b"k")
+        rpc = yield from rpc_client.get(b"k")
+        return rma, rpc
+
+    rma, rpc = cell.sim.run(until=cell.sim.process(app()))
+    print(f"RMA GET: {rma.status.name} in {rma.latency * 1e6:.1f} us")
+    print(f"RPC GET: {rpc.status.name} in {rpc.latency * 1e6:.1f} us")
+    print(f"speedup: {rpc.latency / rma.latency:.1f}x")
+    return 0
+
+
+def cmd_ads(args: argparse.Namespace) -> int:
+    from ..analysis import render_table
+    from ..workloads import AdsScenario, AdsWorkload
+
+    scenario = AdsScenario(duration=args.duration, num_keys=args.keys)
+    workload = AdsWorkload(scenario)
+    workload.preload()
+    metrics = workload.run()
+    print(render_table(
+        "ads", ["metric", "value"],
+        [["GETs", metrics.gets],
+         ["hit rate", f"{metrics.hit_rate:.3f}"],
+         ["p50 us", f"{metrics.get_latency.percentile(50) * 1e6:.0f}"],
+         ["p99.9 us", f"{metrics.get_latency.percentile(99.9) * 1e6:.0f}"],
+         ["SETs", metrics.sets],
+         ["backfill SETs", workload.backfill_sets]]))
+    return 0
+
+
+def cmd_geo(args: argparse.Namespace) -> int:
+    from ..analysis import render_series
+    from ..workloads import GeoScenario, GeoWorkload
+
+    scenario = GeoScenario(duration=args.duration, num_keys=args.keys)
+    workload = GeoWorkload(scenario)
+    workload.preload()
+    metrics = workload.run()
+    print(render_series("geo GET rate (diurnal)",
+                        metrics.get_timeline.rate_series(),
+                        x_label="t", y_label="GET/s"))
+    return 0
+
+
+def cmd_drill(args: argparse.Namespace) -> int:
+    from ..core import (Cell, CellSpec, GetStatus, MaintenanceConfig,
+                        ReplicationMode)
+
+    cell = Cell(CellSpec(
+        mode=ReplicationMode.R3_2, num_shards=3, num_spares=1,
+        transport="pony",
+        maintenance_config=MaintenanceConfig(restart_delay=0.3)))
+    client = cell.connect_client()
+    sim = cell.sim
+
+    def app():
+        for i in range(50):
+            yield from client.set(b"k-%d" % i, b"v")
+        if args.kind == "planned":
+            yield from cell.maintenance.planned_restart(0)
+        else:
+            yield from cell.maintenance.unplanned_crash(0,
+                                                        restart_delay=0.3)
+        hits = 0
+        for i in range(50):
+            result = yield from client.get(b"k-%d" % i)
+            hits += result.status is GetStatus.HIT
+        return hits
+
+    hits = sim.run(until=sim.process(app()))
+    print(f"{args.kind} drill: {hits}/50 keys readable after the event")
+    return 0 if hits == 50 else 1
+
+
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    from ..analysis import snapshot_cell
+    from ..core import Cell, CellSpec, ReplicationMode
+
+    cell = Cell(CellSpec(mode=ReplicationMode.R3_2,
+                         num_shards=args.shards, transport="pony"))
+    client = cell.connect_client()
+
+    def app():
+        for i in range(100):
+            yield from client.set(b"k-%d" % i, b"x" * 256)
+        for i in range(300):
+            yield from client.get(b"k-%d" % (i % 100))
+
+    cell.sim.run(until=cell.sim.process(app()))
+    print(snapshot_cell(cell, clients=[client]).render())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from ..analysis import render_table
+    from ..core import Cell, CellSpec, ReplicationMode
+    from ..sim import RandomStream
+    from ..workloads import Trace, TraceReplayer, synthesize_trace
+
+    if args.input:
+        with open(args.input) as fp:
+            trace = Trace.load(fp)
+    else:
+        trace = synthesize_trace(RandomStream(args.seed, "cli-trace"),
+                                 num_keys=args.keys, ops=args.ops,
+                                 get_fraction=args.get_fraction)
+    if args.output:
+        with open(args.output, "w") as fp:
+            trace.dump(fp)
+        print(f"wrote {len(trace)} ops to {args.output}")
+        return 0
+
+    cell = Cell(CellSpec(mode=ReplicationMode.R3_2, num_shards=4,
+                         transport="pony"))
+    client = cell.connect_client()
+    replayer = TraceReplayer(client, trace, time_scale=args.time_scale)
+    report = cell.sim.run(until=cell.sim.process(replayer.replay()))
+    print(render_table(
+        "trace replay", ["metric", "value"],
+        [["ops", len(trace)],
+         ["GETs", report.gets], ["hit rate", f"{report.hit_rate:.3f}"],
+         ["SETs", report.sets], ["erases", report.erases],
+         ["errors", report.errors],
+         ["GET p50 (us)",
+          f"{report.get_latency.percentile(50) * 1e6:.1f}"
+          if report.gets else "-"],
+         ["replay duration (s)", f"{report.duration:.3f}"]]))
+    return 0
+
+
+def cmd_model_check(args: argparse.Namespace) -> int:
+    from ..model import check
+
+    result = check(max_sets=args.sets, max_erases=args.erases,
+                   max_cas=args.cas, allow_crash=not args.no_crash)
+    print(f"states explored: {result.states_explored}")
+    print(f"transitions:     {result.transitions}")
+    if result.ok:
+        print("all invariants hold (I1 durability, I2 monotonicity, "
+              "I3 no-resurrection, I4 quorum-exists, I5 no-lost-update)")
+        return 0
+    print(f"VIOLATION: {result.counterexample.detail}")
+    print("trace:")
+    for step in result.counterexample.trace:
+        print(f"  {step}")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools",
+        description="CliqueMap reproduction: operator tools")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("quickstart", help="basic ops + RMA-vs-RPC latency")
+    p.add_argument("--shards", type=int, default=6)
+    p.add_argument("--transport", default="pony",
+                   choices=["pony", "1rma", "rdma"])
+    p.set_defaults(func=cmd_quickstart)
+
+    p = sub.add_parser("ads", help="Ads-shaped workload (Fig 8)")
+    p.add_argument("--duration", type=float, default=2.0)
+    p.add_argument("--keys", type=int, default=500)
+    p.set_defaults(func=cmd_ads)
+
+    p = sub.add_parser("geo", help="Geo-shaped diurnal workload (Fig 9)")
+    p.add_argument("--duration", type=float, default=4.0)
+    p.add_argument("--keys", type=int, default=500)
+    p.set_defaults(func=cmd_geo)
+
+    p = sub.add_parser("drill", help="maintenance drill (Figs 13/14)")
+    p.add_argument("kind", choices=["planned", "unplanned"])
+    p.set_defaults(func=cmd_drill)
+
+    p = sub.add_parser("snapshot", help="monitoring dashboard snapshot")
+    p.add_argument("--shards", type=int, default=4)
+    p.set_defaults(func=cmd_snapshot)
+
+    p = sub.add_parser("trace", help="synthesize/replay op traces")
+    p.add_argument("--input", help="trace file to replay")
+    p.add_argument("--output", help="write a synthesized trace here")
+    p.add_argument("--ops", type=int, default=2000)
+    p.add_argument("--keys", type=int, default=200)
+    p.add_argument("--get-fraction", type=float, default=0.95)
+    p.add_argument("--time-scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("model-check",
+                       help="explicit-state check of R=3.2 (§5.1)")
+    p.add_argument("--sets", type=int, default=2)
+    p.add_argument("--erases", type=int, default=1)
+    p.add_argument("--cas", type=int, default=0)
+    p.add_argument("--no-crash", action="store_true")
+    p.set_defaults(func=cmd_model_check)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

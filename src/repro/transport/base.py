@@ -1,0 +1,96 @@
+"""Transport abstraction: one-sided reads over the simulated fabric.
+
+Concrete transports (generic RDMA, Pony Express, 1RMA) share the endpoint
+registry and the failure envelope: reads against a crashed host time out
+with :class:`RemoteHostDownError`; reads against revoked/unknown regions
+fail with :class:`RegionRevokedError` carried back to the client, which is
+what triggers CliqueMap's RPC-based re-handshake retry path (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator
+
+from ..net import Fabric, Host, NetworkDropError
+from ..sim import Simulator
+from .memory import RegionRevokedError, RemoteHostDownError, RmaEndpoint
+
+RMA_REQUEST_BYTES = 64          # a one-sided read command on the wire
+RMA_RESPONSE_HEADER_BYTES = 32  # completion/validation header on responses
+
+
+@dataclass
+class TransportCounters:
+    """Operation counters per transport."""
+
+    reads: int = 0
+    scars: int = 0
+    messages: int = 0
+    failures: int = 0
+    bytes_fetched: int = 0
+
+
+class Transport:
+    """Base transport: endpoint registry + failure handling."""
+
+    name = "base"
+    supports_scar = False
+
+    def __init__(self, sim: Simulator, fabric: Fabric,
+                 op_timeout: float = 200e-6):
+        self.sim = sim
+        self.fabric = fabric
+        self.op_timeout = op_timeout
+        self.endpoints: Dict[str, RmaEndpoint] = {}
+        self.counters = TransportCounters()
+
+    def attach(self, host: Host) -> RmaEndpoint:
+        """Expose a host for RMA access; returns its endpoint."""
+        endpoint = self.endpoints.get(host.name)
+        if endpoint is None:
+            endpoint = RmaEndpoint(host)
+            self.endpoints[host.name] = endpoint
+        return endpoint
+
+    def detach(self, host: Host) -> None:
+        self.endpoints.pop(host.name, None)
+
+    def endpoint(self, host_name: str) -> RmaEndpoint:
+        try:
+            return self.endpoints[host_name]
+        except KeyError:
+            raise RemoteHostDownError(
+                f"no RMA endpoint for host {host_name}") from None
+
+    def _check_remote(self, server_name: str,
+                      client_host: Host = None) -> RmaEndpoint:
+        """Fail like a timed-out op when the remote is dead (a generator).
+
+        RMA protocols are not applicable across the WAN (Table 1): a
+        cross-zone op fails immediately, pushing clients to the RPC
+        lookup fallback."""
+        endpoint = self.endpoints.get(server_name)
+        if endpoint is None or not endpoint.host.alive:
+            self.counters.failures += 1
+            yield self.sim.timeout(self.op_timeout)
+            raise RemoteHostDownError(f"op to {server_name} timed out")
+        if client_host is not None and \
+                getattr(client_host, "zone", "local") != \
+                getattr(endpoint.host, "zone", "local"):
+            self.counters.failures += 1
+            raise RemoteHostDownError(
+                f"RMA to {server_name} crosses zones; use RPC for WAN")
+        return endpoint
+
+    def read(self, client_host: Host, server_name: str, region_id: int,
+             offset: int, size: int) -> Generator:
+        """One-sided read; subclasses implement the timing."""
+        raise NotImplementedError
+
+    def _resolve_or_fail(self, endpoint: RmaEndpoint, region_id: int):
+        try:
+            return endpoint.resolve(region_id)
+        except RegionRevokedError:
+            self.counters.failures += 1
+            raise

@@ -1,0 +1,187 @@
+"""RMA-accessible memory: arenas, windows, registration, revocation.
+
+Regions hold *real bytes* (``bytearray``). An RMA read snapshots those
+bytes at one simulated instant, so torn reads — an RMA read observing the
+intermediate state of a concurrent multi-step server-side mutation — arise
+from genuine interleavings, exactly the hazard CliqueMap's self-validating
+responses exist to catch (§3, §5.3).
+
+The data-region reshaping design of §4.1 is modeled faithfully:
+
+* an :class:`Arena` reserves a large *virtual* range but only a populated
+  prefix is backed by (accounted) DRAM;
+* growth creates a second, larger, *overlapping* :class:`MemoryRegion`
+  window onto the same arena and advertises it under a new region id;
+* old windows keep working until explicitly revoked, so clients converge
+  to the new window over time, perhaps after a retry.
+
+Registration cost (OS + NIC page-table work) is charged when windows are
+created, which is why CliqueMap does that work off the critical path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+class RmaError(Exception):
+    """Base class for RMA transport failures."""
+
+    retryable = True
+
+
+class RegionRevokedError(RmaError):
+    """The target region id is revoked or unknown at the endpoint."""
+
+    def __init__(self, region_id: int):
+        super().__init__(f"region {region_id} is revoked or unknown")
+        self.region_id = region_id
+
+
+class RmaOutOfBoundsError(RmaError):
+    """An access fell outside the window's registered extent."""
+
+
+class RemoteHostDownError(RmaError):
+    """The remote host is crashed/unreachable; surfaced as an op timeout."""
+
+
+_region_ids = itertools.count(1)
+
+
+def next_region_id() -> int:
+    return next(_region_ids)
+
+
+@dataclass
+class RegistrationCostModel:
+    """Cost of registering memory for RMA (OS + NIC translation tables)."""
+
+    base_seconds: float = 50e-6
+    per_page_seconds: float = 0.25e-6
+    page_bytes: int = 4096
+
+    def registration_time(self, nbytes: int) -> float:
+        pages = max(1, (nbytes + self.page_bytes - 1) // self.page_bytes)
+        return self.base_seconds + pages * self.per_page_seconds
+
+
+class Arena:
+    """A virtually-contiguous buffer, only partially populated by DRAM.
+
+    ``virtual_limit`` is the mmap(PROT_NONE) reservation; ``populated``
+    bytes are actually backed (and counted as DRAM used).
+    """
+
+    def __init__(self, initial_bytes: int, virtual_limit: int):
+        if initial_bytes < 0 or initial_bytes > virtual_limit:
+            raise ValueError("initial size must be within the virtual limit")
+        self.virtual_limit = virtual_limit
+        self._buf = bytearray(initial_bytes)
+
+    @property
+    def populated(self) -> int:
+        """Bytes of DRAM currently backing the arena."""
+        return len(self._buf)
+
+    def grow(self, new_size: int) -> None:
+        """Populate the arena out to ``new_size`` bytes."""
+        if new_size < self.populated:
+            raise ValueError("grow cannot shrink; build a new arena instead")
+        if new_size > self.virtual_limit:
+            raise ValueError(
+                f"grow to {new_size} exceeds virtual limit {self.virtual_limit}")
+        self._buf.extend(bytes(new_size - self.populated))
+
+    # Raw access used by windows; offsets are arena-absolute.
+
+    def read(self, offset: int, size: int) -> bytes:
+        if offset < 0 or size < 0 or offset + size > self.populated:
+            raise RmaOutOfBoundsError(
+                f"read [{offset}, {offset + size}) beyond populated "
+                f"{self.populated}")
+        return bytes(self._buf[offset:offset + size])
+
+    def write(self, offset: int, data: bytes) -> None:
+        if offset < 0 or offset + len(data) > self.populated:
+            raise RmaOutOfBoundsError(
+                f"write [{offset}, {offset + len(data)}) beyond populated "
+                f"{self.populated}")
+        self._buf[offset:offset + len(data)] = data
+
+
+class MemoryRegion:
+    """A registered RMA window onto an arena.
+
+    Multiple windows may overlap the same arena (reshaping); each has its
+    own region id and revocation state.
+    """
+
+    def __init__(self, arena: Arena, limit: Optional[int] = None,
+                 region_id: Optional[int] = None):
+        self.arena = arena
+        self.limit = arena.populated if limit is None else limit
+        if self.limit > arena.virtual_limit:
+            raise ValueError("window limit exceeds arena virtual limit")
+        self.region_id = next_region_id() if region_id is None else region_id
+        self.revoked = False
+
+    def read(self, offset: int, size: int) -> bytes:
+        """Snapshot ``size`` bytes at this simulated instant."""
+        if self.revoked:
+            raise RegionRevokedError(self.region_id)
+        if offset < 0 or offset + size > self.limit:
+            raise RmaOutOfBoundsError(
+                f"read [{offset}, {offset + size}) beyond window {self.limit}")
+        return self.arena.read(offset, size)
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Server-local write (backends mutate their own memory directly)."""
+        if self.revoked:
+            raise RegionRevokedError(self.region_id)
+        if offset < 0 or offset + len(data) > self.limit:
+            raise RmaOutOfBoundsError(
+                f"write [{offset}, {offset + len(data)}) beyond window "
+                f"{self.limit}")
+        self.arena.write(offset, data)
+
+    def revoke(self) -> None:
+        self.revoked = True
+
+
+class RmaEndpoint:
+    """Server-side RMA attachment: the windows a host exposes.
+
+    The optional ``scar_program`` is the small computation CliqueMap
+    installs into the software NIC for Scan-and-Read (§6.3); it is a pure
+    function over raw bucket bytes, mirroring a NIC-resident program.
+    """
+
+    def __init__(self, host):
+        self.host = host
+        self._windows: Dict[int, MemoryRegion] = {}
+        self.scar_program = None
+
+    def expose(self, window: MemoryRegion) -> MemoryRegion:
+        self._windows[window.region_id] = window
+        return window
+
+    def revoke(self, window: MemoryRegion) -> None:
+        window.revoke()
+        self._windows.pop(window.region_id, None)
+
+    def resolve(self, region_id: int) -> MemoryRegion:
+        window = self._windows.get(region_id)
+        if window is None or window.revoked:
+            raise RegionRevokedError(region_id)
+        return window
+
+    def install_scar_program(self, program) -> None:
+        """``program(bucket_bytes, key_hash) -> (region_id, offset, size) | None``."""
+        self.scar_program = program
+
+    @property
+    def window_count(self) -> int:
+        return len(self._windows)

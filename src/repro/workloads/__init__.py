@@ -1,0 +1,19 @@
+"""Synthetic workloads: generators plus Ads- and Geo-shaped scenarios."""
+
+from .ads import AdsScenario, AdsWorkload
+from .distributions import (BatchSizeSampler, ads_batch_sizes,
+                            ads_object_sizes, diurnal_rate, geo_batch_sizes,
+                            geo_object_sizes)
+from .generators import KeySpace, LoadGenerator, WorkloadMetrics, populate
+from .geo import GeoScenario, GeoWorkload
+from .trace import (ReplayReport, Trace, TraceOp, TraceRecorder,
+                    TraceReplayer, synthesize_trace)
+
+__all__ = [
+    "AdsScenario", "AdsWorkload", "GeoScenario", "GeoWorkload",
+    "BatchSizeSampler", "ads_batch_sizes", "ads_object_sizes",
+    "diurnal_rate", "geo_batch_sizes", "geo_object_sizes",
+    "KeySpace", "LoadGenerator", "WorkloadMetrics", "populate",
+    "ReplayReport", "Trace", "TraceOp", "TraceRecorder", "TraceReplayer",
+    "synthesize_trace",
+]

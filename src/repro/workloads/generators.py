@@ -1,0 +1,208 @@
+"""Synthetic load generation against a CliqueMap cell.
+
+Two modes:
+
+* **open loop** — batches arrive by a Poisson process at an offered rate
+  (optionally time-varying, e.g. diurnal); queueing and overload behavior
+  emerge naturally;
+* **closed loop** — each worker issues the next batch as soon as the
+  previous completes, measuring peak sustainable op rate (Fig 6a).
+
+All results land in :mod:`repro.analysis` recorders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, List, Optional
+
+from ..analysis import LatencyRecorder, TimeSeries
+from ..core import CliqueMapClient, GetStatus, SetStatus
+from ..sim import RandomStream, Simulator, ZipfSampler
+
+
+class KeySpace:
+    """A fixed corpus of keys with a zipf popularity distribution."""
+
+    def __init__(self, stream: RandomStream, num_keys: int,
+                 prefix: bytes = b"key", zipf_s: float = 0.99):
+        self.num_keys = num_keys
+        self.prefix = prefix
+        self._sampler = ZipfSampler(stream, num_keys, zipf_s)
+
+    def key(self, i: int) -> bytes:
+        return self.prefix + b"-%d" % i
+
+    def sample_key(self) -> bytes:
+        return self.key(self._sampler.sample())
+
+    def sample_keys(self, n: int) -> List[bytes]:
+        return [self.sample_key() for _ in range(n)]
+
+    def all_keys(self) -> List[bytes]:
+        return [self.key(i) for i in range(self.num_keys)]
+
+
+def populate(client: CliqueMapClient, keyspace: KeySpace, size_dist,
+             count: Optional[int] = None,
+             parallelism: int = 16) -> Generator:
+    """Pre-load the corpus; returns the number of keys installed."""
+    sim = client.sim
+    keys = keyspace.all_keys()[:count]
+    installed = [0]
+
+    def worker(chunk):
+        for key in chunk:
+            value = bytes(size_dist.sample()) if hasattr(size_dist, "sample") \
+                else bytes(size_dist)
+            result = yield from client.set(key, value)
+            if result.status is SetStatus.APPLIED:
+                installed[0] += 1
+
+    chunks = [keys[i::parallelism] for i in range(parallelism)]
+    procs = [sim.process(worker(c)) for c in chunks if c]
+    yield sim.all_of(procs)
+    return installed[0]
+
+
+@dataclass
+class WorkloadMetrics:
+    """Everything a workload run records."""
+
+    get_latency: LatencyRecorder = field(
+        default_factory=lambda: LatencyRecorder("get"))
+    set_latency: LatencyRecorder = field(
+        default_factory=lambda: LatencyRecorder("set"))
+    get_timeline: Optional[TimeSeries] = None
+    set_timeline: Optional[TimeSeries] = None
+    gets: int = 0
+    hits: int = 0
+    sets: int = 0
+    get_errors: int = 0
+
+    def with_timeline(self, bin_width: float) -> "WorkloadMetrics":
+        self.get_timeline = TimeSeries(bin_width, "get-latency")
+        self.set_timeline = TimeSeries(bin_width, "set-latency")
+        return self
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.gets if self.gets else 0.0
+
+
+class LoadGenerator:
+    """Drives GET/SET traffic from a set of clients."""
+
+    def __init__(self, sim: Simulator, clients: List[CliqueMapClient],
+                 keyspace: KeySpace, stream: RandomStream,
+                 metrics: Optional[WorkloadMetrics] = None,
+                 max_outstanding_per_client: int = 64):
+        self.sim = sim
+        self.clients = clients
+        self.keyspace = keyspace
+        self.stream = stream
+        self.metrics = metrics or WorkloadMetrics()
+        self.max_outstanding = max_outstanding_per_client
+
+    # -- GET traffic ----------------------------------------------------------
+
+    def start_open_loop_gets(self, rate_per_client,
+                             duration: float,
+                             batch_sampler=None) -> List:
+        """Poisson arrivals at ``rate_per_client`` ops/sec (callable ok)."""
+        procs = []
+        for i, client in enumerate(self.clients):
+            stream = self.stream.child(f"get-arrivals-{i}")
+            procs.append(self.sim.process(self._open_get_loop(
+                client, rate_per_client, duration, batch_sampler, stream)))
+        return procs
+
+    def _open_get_loop(self, client, rate, duration, batch_sampler,
+                       stream) -> Generator:
+        end = self.sim.now + duration
+        outstanding = [0]
+        while self.sim.now < end:
+            now_rate = rate(self.sim.now) if callable(rate) else rate
+            batch = batch_sampler.sample() if batch_sampler else 1
+            interval = batch / max(now_rate, 1e-9)
+            yield self.sim.timeout(stream.expovariate(1.0 / interval))
+            if outstanding[0] >= self.max_outstanding:
+                continue  # shed load rather than queue unboundedly
+            outstanding[0] += 1
+            proc = self.sim.process(
+                self._one_get_batch(client, batch, outstanding))
+            proc.defused = True
+
+    def _one_get_batch(self, client, batch: int, outstanding) -> Generator:
+        try:
+            keys = self.keyspace.sample_keys(batch)
+            start = self.sim.now
+            results = yield from client.get_multi(keys)
+            batch_latency = self.sim.now - start
+            for result in results:
+                self._record_get(result, batch_latency)
+        finally:
+            outstanding[0] -= 1
+
+    def start_closed_loop_gets(self, workers_per_client: int,
+                               duration: float,
+                               batch_sampler=None) -> List:
+        """Max-rate GETs: each worker re-issues immediately (Fig 6a)."""
+        procs = []
+        for client in self.clients:
+            for _w in range(workers_per_client):
+                procs.append(self.sim.process(
+                    self._closed_get_loop(client, duration, batch_sampler)))
+        return procs
+
+    def _closed_get_loop(self, client, duration, batch_sampler) -> Generator:
+        end = self.sim.now + duration
+        while self.sim.now < end:
+            batch = batch_sampler.sample() if batch_sampler else 1
+            keys = self.keyspace.sample_keys(batch)
+            start = self.sim.now
+            results = yield from client.get_multi(keys)
+            batch_latency = self.sim.now - start
+            for result in results:
+                self._record_get(result, batch_latency)
+
+    def _record_get(self, result, batch_latency: float) -> None:
+        metrics = self.metrics
+        metrics.gets += 1
+        if result.status is GetStatus.HIT:
+            metrics.hits += 1
+        elif result.status is GetStatus.ERROR:
+            metrics.get_errors += 1
+        metrics.get_latency.record(result.latency)
+        if metrics.get_timeline is not None:
+            metrics.get_timeline.record(self.sim.now, result.latency)
+
+    # -- SET traffic ---------------------------------------------------------
+
+    def start_open_loop_sets(self, rate_per_client, duration: float,
+                             size_dist) -> List:
+        procs = []
+        for i, client in enumerate(self.clients):
+            stream = self.stream.child(f"set-arrivals-{i}")
+            procs.append(self.sim.process(self._open_set_loop(
+                client, rate_per_client, duration, size_dist, stream)))
+        return procs
+
+    def _open_set_loop(self, client, rate, duration, size_dist,
+                       stream) -> Generator:
+        end = self.sim.now + duration
+        while self.sim.now < end:
+            now_rate = rate(self.sim.now) if callable(rate) else rate
+            yield self.sim.timeout(stream.expovariate(max(now_rate, 1e-9)))
+            proc = self.sim.process(self._one_set(client, size_dist))
+            proc.defused = True
+
+    def _one_set(self, client, size_dist) -> Generator:
+        key = self.keyspace.sample_key()
+        value = bytes(size_dist.sample()) if hasattr(size_dist, "sample") \
+            else bytes(size_dist)
+        result = yield from client.set(key, value)
+        self.metrics.sets += 1
+        self.metrics.set_latency.record(result.latency)
+        if self.metrics.set_timeline is not None:
+            self.metrics.set_timeline.record(self.sim.now, result.latency)

@@ -1,0 +1,97 @@
+"""Per-RPC ACLs wired into a cell (Table 1 / §2.1)."""
+
+import pytest
+
+from repro.core import (Cell, CellSpec, GetStatus, RepairConfig,
+                        ReplicationMode, SetStatus)
+from repro.rpc import Principal
+
+
+def build(num_spares=0, repair=False):
+    spec = CellSpec(
+        mode=ReplicationMode.R3_2, num_shards=3, num_spares=num_spares,
+        transport="pony",
+        repair_config=RepairConfig(enabled=repair, scan_interval=0.3),
+        writer_principals=["ads-pipeline"])
+    return Cell(spec)
+
+
+def run(cell, gen):
+    return cell.sim.run(until=cell.sim.process(gen))
+
+
+def test_authorized_writer_can_mutate():
+    cell = build()
+    writer = cell.connect_client(principal=Principal("ads-pipeline"))
+
+    def app():
+        result = yield from writer.set(b"k", b"v")
+        assert result.status is SetStatus.APPLIED
+        erased = yield from writer.erase(b"k")
+        assert erased.status is SetStatus.APPLIED
+
+    run(cell, app())
+
+
+def test_unauthorized_writer_is_rejected():
+    cell = build()
+    writer = cell.connect_client(principal=Principal("ads-pipeline"))
+    intruder = cell.connect_client(principal=Principal("random-job"))
+
+    def app():
+        yield from writer.set(b"k", b"v")
+        result = yield from intruder.set(b"k", b"overwritten")
+        assert result.status is SetStatus.FAILED
+        assert result.replicas_applied == 0
+        got = yield from writer.get(b"k")
+        assert got.value == b"v"
+        erased = yield from intruder.erase(b"k")
+        assert erased.status is SetStatus.FAILED
+
+    run(cell, app())
+
+
+def test_reads_open_to_any_principal():
+    cell = build()
+    writer = cell.connect_client(principal=Principal("ads-pipeline"))
+    reader = cell.connect_client(principal=Principal("any-serving-job"))
+
+    def app():
+        yield from writer.set(b"k", b"v")
+        got = yield from reader.get(b"k")
+        assert got.status is GetStatus.HIT
+        assert got.value == b"v"
+
+    run(cell, app())
+
+
+def test_repairs_keep_working_under_acl():
+    cell = build(repair=True)
+    writer = cell.connect_client(principal=Principal("ads-pipeline"))
+
+    def app():
+        yield from writer.set(b"k", b"v")
+        victim = cell.backend_by_task("backend-1")
+        key_hash = victim.placement.key_hash(b"k")
+        yield from victim._remove_entry(key_hash)
+        yield cell.sim.timeout(1.5)
+        assert victim.lookup_local(b"k") is not None
+
+    run(cell, app())
+
+
+def test_migration_keeps_working_under_acl():
+    cell = build(num_spares=1)
+    writer = cell.connect_client(principal=Principal("ads-pipeline"))
+
+    def app():
+        for i in range(10):
+            yield from writer.set(b"k-%d" % i, b"v")
+        yield from cell.maintenance.planned_restart(0)
+        hits = 0
+        for i in range(10):
+            result = yield from writer.get(b"k-%d" % i)
+            hits += result.hit
+        return hits
+
+    assert run(cell, app()) == 10

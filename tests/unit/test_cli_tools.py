@@ -1,0 +1,60 @@
+"""Tests for the operator CLI (`python -m repro.tools`)."""
+
+import pytest
+
+from repro.tools import build_parser, main
+
+
+def test_parser_lists_all_commands():
+    parser = build_parser()
+    sub = next(a for a in parser._actions
+               if hasattr(a, "choices") and a.choices)
+    assert set(sub.choices) == {"quickstart", "ads", "geo", "drill",
+                                "snapshot", "model-check", "trace"}
+
+
+def test_quickstart_command(capsys):
+    assert main(["quickstart", "--shards", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "RMA GET: HIT" in out
+    assert "speedup" in out
+
+
+def test_model_check_command(capsys):
+    assert main(["model-check", "--sets", "1", "--erases", "0",
+                 "--no-crash"]) == 0
+    out = capsys.readouterr().out
+    assert "all invariants hold" in out
+
+
+def test_snapshot_command(capsys):
+    assert main(["snapshot", "--shards", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "backend-0" in out
+    assert "cell snapshot" in out
+
+
+def test_drill_planned(capsys):
+    assert main(["drill", "planned"]) == 0
+    assert "50/50" in capsys.readouterr().out
+
+
+def test_ads_command(capsys):
+    assert main(["ads", "--duration", "0.5", "--keys", "100"]) == 0
+    assert "hit rate" in capsys.readouterr().out
+
+
+def test_trace_synthesize_and_replay(tmp_path, capsys):
+    trace_file = str(tmp_path / "ops.trace")
+    assert main(["trace", "--ops", "200", "--keys", "30",
+                 "--output", trace_file]) == 0
+    assert "wrote 200 ops" in capsys.readouterr().out
+    assert main(["trace", "--input", trace_file]) == 0
+    out = capsys.readouterr().out
+    assert "trace replay" in out
+    assert "hit rate" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,257 @@
+"""Unit tests for the index region, data entries, and the slab allocator."""
+
+import pytest
+
+from repro.core.data import (DataRegion, encode_entry_parts, entry_size,
+                             try_decode)
+from repro.core.hashing import default_key_hash
+from repro.core.index import (ENTRY_BYTES, IndexRegion, bucket_size,
+                              make_scar_program, parse_bucket)
+from repro.core.slab import SlabAllocator
+from repro.core.version import VersionNumber
+from repro.transport import Arena
+
+
+V1 = VersionNumber(100, 1, 1)
+V2 = VersionNumber(200, 1, 2)
+
+
+# -- index region -------------------------------------------------------------
+
+def test_bucket_size_layout():
+    assert bucket_size(7) == 16 + 7 * ENTRY_BYTES
+
+
+def test_index_write_read_entry():
+    index = IndexRegion(num_buckets=8, ways=4, config_id=3)
+    kh = default_key_hash(b"k")
+    index.write_entry(2, 1, kh, V1, region_id=9, offset=1024, size=128)
+    entry = index.read_entry(2, 1)
+    assert entry.valid
+    assert entry.key_hash == kh
+    assert entry.version == V1
+    assert (entry.region_id, entry.offset, entry.size) == (9, 1024, 128)
+
+
+def test_index_clear_entry():
+    index = IndexRegion(num_buckets=8, ways=4, config_id=0)
+    kh = default_key_hash(b"k")
+    index.write_entry(0, 0, kh, V1, 1, 0, 64)
+    assert index.used_entries == 1
+    index.clear_entry(0, 0)
+    assert not index.read_entry(0, 0).valid
+    assert index.used_entries == 0
+
+
+def test_index_find_way_and_free_way():
+    index = IndexRegion(num_buckets=4, ways=2, config_id=0)
+    kh1, kh2 = default_key_hash(b"a"), default_key_hash(b"b")
+    index.write_entry(1, 0, kh1, V1, 1, 0, 64)
+    assert index.find_way(1, kh1) == 0
+    assert index.find_way(1, kh2) is None
+    assert index.find_free_way(1) == 1
+    index.write_entry(1, 1, kh2, V1, 1, 64, 64)
+    assert index.find_free_way(1) is None
+
+
+def test_index_load_factor():
+    index = IndexRegion(num_buckets=2, ways=2, config_id=0)
+    assert index.load_factor == 0.0
+    index.write_entry(0, 0, default_key_hash(b"a"), V1, 1, 0, 64)
+    assert index.load_factor == 0.25
+
+
+def test_index_bucket_for_is_stable_and_in_range():
+    index = IndexRegion(num_buckets=16, ways=4, config_id=0)
+    for i in range(100):
+        kh = default_key_hash(f"key-{i}".encode())
+        b = index.bucket_for(kh)
+        assert 0 <= b < 16
+        assert b == index.bucket_for(kh)
+
+
+def test_parse_bucket_roundtrip():
+    index = IndexRegion(num_buckets=4, ways=3, config_id=7)
+    kh = default_key_hash(b"k")
+    index.write_entry(2, 1, kh, V2, region_id=5, offset=256, size=99)
+    raw = index.window.read(index.bucket_offset(2), index.bucket_bytes)
+    bucket = parse_bucket(raw, ways=3)
+    assert bucket.magic_ok
+    assert bucket.config_id == 7
+    assert not bucket.overflow
+    found = bucket.find(kh)
+    assert found is not None
+    assert found.version == V2
+    assert (found.region_id, found.offset, found.size) == (5, 256, 99)
+
+
+def test_parse_bucket_rejects_short_input():
+    with pytest.raises(ValueError):
+        parse_bucket(b"short", ways=3)
+
+
+def test_overflow_bit_roundtrip():
+    index = IndexRegion(num_buckets=2, ways=2, config_id=0)
+    index.set_overflow(1, True)
+    raw = index.window.read(index.bucket_offset(1), index.bucket_bytes)
+    assert parse_bucket(raw, 2).overflow
+    index.set_overflow(1, False)
+    raw = index.window.read(index.bucket_offset(1), index.bucket_bytes)
+    assert not parse_bucket(raw, 2).overflow
+
+
+def test_set_config_id_rewrites_all_headers():
+    index = IndexRegion(num_buckets=3, ways=2, config_id=1)
+    index.set_overflow(2, True)
+    index.set_config_id(9)
+    for b in range(3):
+        raw = index.window.read(index.bucket_offset(b), index.bucket_bytes)
+        assert parse_bucket(raw, 2).config_id == 9
+    # Flags survive the rewrite.
+    raw = index.window.read(index.bucket_offset(2), index.bucket_bytes)
+    assert parse_bucket(raw, 2).overflow
+
+
+def test_scar_program_matches_entry():
+    index = IndexRegion(num_buckets=2, ways=3, config_id=0)
+    kh = default_key_hash(b"k")
+    index.write_entry(0, 2, kh, V1, region_id=8, offset=512, size=77)
+    raw = index.window.read(index.bucket_offset(0), index.bucket_bytes)
+    program = make_scar_program(ways=3)
+    assert program(raw, kh) == (8, 512, 77)
+    assert program(raw, default_key_hash(b"other")) is None
+
+
+def test_index_entries_iterator():
+    index = IndexRegion(num_buckets=4, ways=2, config_id=0)
+    khs = [default_key_hash(f"{i}".encode()) for i in range(3)]
+    index.write_entry(0, 0, khs[0], V1, 1, 0, 10)
+    index.write_entry(1, 1, khs[1], V1, 1, 16, 10)
+    index.write_entry(3, 0, khs[2], V1, 1, 32, 10)
+    found = {entry.key_hash for _b, entry in index.entries()}
+    assert found == set(khs)
+
+
+# -- data entries ------------------------------------------------------------
+
+def test_encode_decode_roundtrip():
+    kh = default_key_hash(b"key")
+    body, check = encode_entry_parts(b"key", b"value", V1, kh)
+    entry = try_decode(body + check)
+    assert entry is not None
+    assert entry.key == b"key"
+    assert entry.value == b"value"
+    assert entry.version == V1
+    assert entry.checksum_ok(kh)
+    assert len(body + check) == entry_size(3, 5)
+
+
+def test_decode_detects_wrong_keyhash():
+    kh = default_key_hash(b"key")
+    body, check = encode_entry_parts(b"key", b"value", V1, kh)
+    entry = try_decode(body + check)
+    assert not entry.checksum_ok(default_key_hash(b"other"))
+
+
+def test_decode_detects_torn_bytes():
+    kh = default_key_hash(b"key")
+    body, check = encode_entry_parts(b"key", b"value-old!", V1, kh)
+    raw = bytearray(body + check)
+    raw[-12:-8] = b"NEW!"  # tear inside the value
+    entry = try_decode(bytes(raw))
+    assert entry is not None
+    assert not entry.checksum_ok(kh)
+
+
+def test_decode_survives_garbage_lengths():
+    assert try_decode(b"") is None
+    assert try_decode(b"\xff" * 16) is None
+    # Length fields claiming more data than present must not crash.
+    assert try_decode(b"\xff" * 40) is None
+
+
+# -- slab allocator ----------------------------------------------------------
+
+def test_slab_alloc_free_roundtrip():
+    arena = Arena(256 * 1024, 256 * 1024)
+    allocator = SlabAllocator(arena, slab_bytes=64 * 1024, min_block=64)
+    off = allocator.alloc(100)
+    assert off is not None
+    assert allocator.block_size(off) == 128
+    assert allocator.used_bytes == 128
+    allocator.free(off)
+    assert allocator.used_bytes == 0
+
+
+def test_slab_size_class_rounding():
+    arena = Arena(256 * 1024, 256 * 1024)
+    allocator = SlabAllocator(arena, min_block=64)
+    assert allocator.class_for(1) == 64
+    assert allocator.class_for(64) == 64
+    assert allocator.class_for(65) == 128
+    assert allocator.class_for(10 ** 9) is None
+
+
+def test_slab_distinct_offsets():
+    arena = Arena(256 * 1024, 256 * 1024)
+    allocator = SlabAllocator(arena)
+    offsets = {allocator.alloc(64) for _ in range(100)}
+    assert None not in offsets
+    assert len(offsets) == 100
+
+
+def test_slab_exhaustion_returns_none():
+    arena = Arena(64 * 1024, 64 * 1024)
+    allocator = SlabAllocator(arena, slab_bytes=64 * 1024, min_block=64)
+    count = 0
+    while allocator.alloc(32 * 1024) is not None:
+        count += 1
+    assert count == 2  # one slab of 64KB holds two 32KB blocks
+    assert not allocator.can_satisfy(32 * 1024)
+
+
+def test_slab_repurposing_between_classes():
+    arena = Arena(64 * 1024, 64 * 1024)
+    allocator = SlabAllocator(arena, slab_bytes=64 * 1024, min_block=64)
+    big = allocator.alloc(32 * 1024)
+    allocator.free(big)
+    # The now-empty slab can serve a different size class.
+    small = allocator.alloc(64)
+    assert small is not None
+    assert allocator.block_size(small) == 64
+
+
+def test_slab_free_unknown_offset_raises():
+    arena = Arena(64 * 1024, 64 * 1024)
+    allocator = SlabAllocator(arena)
+    with pytest.raises(ValueError):
+        allocator.free(12345)
+
+
+def test_slab_sees_arena_growth():
+    arena = Arena(64 * 1024, 256 * 1024)
+    allocator = SlabAllocator(arena, slab_bytes=64 * 1024, min_block=64)
+    a = allocator.alloc(64 * 1024)
+    assert a is not None
+    assert allocator.alloc(64 * 1024) is None
+    arena.grow(128 * 1024)
+    assert allocator.can_satisfy(64 * 1024)
+    assert allocator.alloc(64 * 1024) is not None
+
+
+# -- data region -------------------------------------------------------------
+
+def test_data_region_grow_opens_new_window():
+    region = DataRegion(initial_bytes=64 * 1024, virtual_limit=1024 * 1024)
+    old_id = region.region_id
+    old_window = region.active_window
+    region.grow(128 * 1024)
+    assert region.region_id != old_id
+    assert region.populated_bytes == 128 * 1024
+    # Old window is still readable (clients converge lazily)...
+    region.write_at(0, b"live")
+    assert old_window.read(0, 4) == b"live"
+    # ...until retired.
+    retired = region.retire_oldest_window()
+    assert retired is old_window
+    assert old_window.revoked

@@ -1,0 +1,82 @@
+"""Documentation integrity: docs reference files and modules that exist."""
+
+import importlib
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def read(name):
+    return (ROOT / name).read_text()
+
+
+def test_required_documents_exist():
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "LICENSE",
+                 "docs/ARCHITECTURE.md", "docs/USAGE.md",
+                 "benchmarks/README.md"):
+        assert (ROOT / name).exists(), name
+
+
+def test_design_references_existing_benchmarks():
+    text = read("DESIGN.md")
+    for match in set(re.findall(r"benchmarks/(bench_\w+\.py)", text)):
+        assert (ROOT / "benchmarks" / match).exists(), match
+
+
+def test_experiments_references_existing_benchmarks():
+    text = read("EXPERIMENTS.md")
+    for match in set(re.findall(r"`(bench_\w+\.py)`", text)):
+        assert (ROOT / "benchmarks" / match).exists(), match
+
+
+def test_every_benchmark_is_documented():
+    documented = set(re.findall(r"bench_\w+\.py", read("EXPERIMENTS.md")))
+    documented |= set(re.findall(r"bench_\w+\.py", read("DESIGN.md")))
+    on_disk = {p.name for p in (ROOT / "benchmarks").glob("bench_*.py")}
+    undocumented = on_disk - documented
+    assert undocumented == set(), undocumented
+
+
+def test_readme_references_existing_examples():
+    text = read("README.md")
+    for match in set(re.findall(r"examples/(\w+\.py)", text)):
+        assert (ROOT / "examples" / match).exists(), match
+
+
+def test_design_module_references_are_importable():
+    text = read("DESIGN.md")
+    for match in sorted(set(re.findall(r"`(repro(?:\.\w+)+)`", text))):
+        parts = match.split(".")
+        # Allow attribute references like repro.core.client; import the
+        # longest importable prefix and resolve the rest as attributes.
+        module = None
+        for i in range(len(parts), 0, -1):
+            try:
+                module = importlib.import_module(".".join(parts[:i]))
+                rest = parts[i:]
+                break
+            except ImportError:
+                continue
+        assert module is not None, match
+        obj = module
+        for attr in rest:
+            assert hasattr(obj, attr), f"{match} ({attr})"
+            obj = getattr(obj, attr)
+
+
+def test_usage_doc_module_references_are_importable():
+    text = read("docs/USAGE.md")
+    for match in sorted(set(re.findall(r"from (repro(?:\.\w+)*) import",
+                                       text))):
+        importlib.import_module(match)
+
+
+def test_all_examples_have_docstrings_and_main():
+    for path in (ROOT / "examples").glob("*.py"):
+        source = path.read_text()
+        assert source.lstrip().startswith(("#!", '"""')), path.name
+        assert "def main" in source, path.name
+        assert '__name__ == "__main__"' in source, path.name

@@ -1,0 +1,101 @@
+"""Unit tests for the MemcacheG baseline (§2.1)."""
+
+import pytest
+
+from repro.baselines import MemcacheGCluster, MemcacheGConfig
+
+
+def build(num_shards=3, **config_kwargs):
+    config = MemcacheGConfig(**config_kwargs) if config_kwargs else None
+    cluster = MemcacheGCluster(num_shards=num_shards, config=config)
+    return cluster, cluster.make_client()
+
+
+def run(cluster, gen):
+    return cluster.sim.run(until=cluster.sim.process(gen))
+
+
+def test_set_get_delete_roundtrip():
+    cluster, client = build()
+
+    def app():
+        assert (yield from client.set(b"k", b"v"))
+        found, value = yield from client.get(b"k")
+        assert found and value == b"v"
+        assert (yield from client.delete(b"k"))
+        found, _ = yield from client.get(b"k")
+        assert not found
+
+    run(cluster, app())
+
+
+def test_keys_spread_across_shards():
+    cluster, client = build(num_shards=4)
+
+    def app():
+        for i in range(60):
+            yield from client.set(b"key-%d" % i, b"v")
+
+    run(cluster, app())
+    residents = [s.resident_keys for s in cluster.servers]
+    assert sum(residents) == 60
+    assert all(r > 0 for r in residents)
+
+
+def test_lru_eviction_at_capacity():
+    cluster, client = build(num_shards=1, capacity_bytes=1000)
+
+    def app():
+        for i in range(20):
+            yield from client.set(b"key-%02d" % i, b"x" * 90)
+        # Touch an early survivor so the LRU spares it.
+        found_early, _ = yield from client.get(b"key-19")
+        found_oldest, _ = yield from client.get(b"key-00")
+        return found_early, found_oldest
+
+    found_recent, found_oldest = run(cluster, app())
+    server = cluster.servers[0]
+    assert server.stats.evictions > 0
+    assert found_recent
+    assert not found_oldest
+    assert server._used_bytes <= 1000
+
+
+def test_overwrite_updates_used_bytes():
+    cluster, client = build(num_shards=1)
+
+    def app():
+        yield from client.set(b"k", b"x" * 100)
+        yield from client.set(b"k", b"y" * 10)
+
+    run(cluster, app())
+    server = cluster.servers[0]
+    assert server._used_bytes == 1 + 10  # len(key) + len(value)
+
+
+def test_every_get_costs_full_rpc():
+    """The baseline's defining property: >50us CPU per GET."""
+    cluster, client = build()
+
+    def app():
+        yield from client.set(b"k", b"v" * 64)
+        hosts = [client.host] + [s.host for s in cluster.servers]
+        base = sum(h.ledger.total() for h in hosts)
+        for _ in range(20):
+            yield from client.get(b"k")
+        return (sum(h.ledger.total() for h in hosts) - base) / 20
+
+    cpu_per_get = run(cluster, app())
+    assert cpu_per_get > 50e-6
+
+
+def test_server_down_is_a_miss_not_a_crash():
+    cluster, client = build(num_shards=2)
+
+    def app():
+        yield from client.set(b"k", b"v")
+        cluster.shard_for(b"k").host.crash()
+        found, _ = yield from client.get(b"k")
+        return found
+
+    assert run(cluster, app()) is False

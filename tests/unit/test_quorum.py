@@ -1,0 +1,109 @@
+"""Unit tests for client-side quorum evaluation (§5.1)."""
+
+from repro.core.quorum import (QuorumOutcome, ReplicaVote, VoteKind, evaluate)
+from repro.core.index import ParsedIndexEntry
+from repro.core.version import VersionNumber
+
+
+def entry(version_n):
+    return ParsedIndexEntry(way=0, key_hash=b"h" * 16,
+                            version=VersionNumber(version_n, 0, 0),
+                            region_id=1, offset=0, size=64, valid=True)
+
+
+def present(task, n):
+    return ReplicaVote.present(task, entry(n))
+
+
+def absent(task):
+    return ReplicaVote.absent(task)
+
+
+def error(task):
+    return ReplicaVote.error(task)
+
+
+def test_two_matching_present_votes_decide():
+    decision = evaluate([present("a", 5), present("b", 5)], 3, 2)
+    assert decision.outcome is QuorumOutcome.PRESENT
+    assert decision.version == VersionNumber(5, 0, 0)
+    assert set(decision.members) == {"a", "b"}
+    assert not decision.unanimous
+
+
+def test_three_matching_votes_are_unanimous():
+    decision = evaluate([present("a", 5), present("b", 5), present("c", 5)],
+                        3, 2)
+    assert decision.outcome is QuorumOutcome.PRESENT
+    assert decision.unanimous
+
+
+def test_two_absent_votes_decide_miss():
+    decision = evaluate([absent("a"), absent("b")], 3, 2)
+    assert decision.outcome is QuorumOutcome.ABSENT
+
+
+def test_single_vote_undecided_with_outstanding():
+    decision = evaluate([present("a", 5)], 3, 2)
+    assert decision.outcome is QuorumOutcome.UNDECIDED
+
+
+def test_disagreeing_votes_wait_for_third():
+    decision = evaluate([present("a", 5), present("b", 6)], 3, 2)
+    assert decision.outcome is QuorumOutcome.UNDECIDED
+
+
+def test_third_vote_breaks_tie():
+    decision = evaluate([present("a", 5), present("b", 6), present("c", 6)],
+                        3, 2)
+    assert decision.outcome is QuorumOutcome.PRESENT
+    assert decision.version == VersionNumber(6, 0, 0)
+    assert set(decision.members) == {"b", "c"}
+
+
+def test_three_way_disagreement_is_inquorate():
+    decision = evaluate([present("a", 1), present("b", 2), present("c", 3)],
+                        3, 2)
+    assert decision.outcome is QuorumOutcome.INQUORATE
+
+
+def test_mixed_present_absent_inquorate():
+    decision = evaluate([present("a", 1), absent("b"), present("c", 3)],
+                        3, 2)
+    assert decision.outcome is QuorumOutcome.INQUORATE
+
+
+def test_errors_do_not_vote():
+    decision = evaluate([error("a"), present("b", 5), present("c", 5)], 3, 2)
+    assert decision.outcome is QuorumOutcome.PRESENT
+    assert set(decision.members) == {"b", "c"}
+
+
+def test_two_errors_one_vote_inquorate():
+    decision = evaluate([error("a"), error("b"), present("c", 5)], 3, 2)
+    assert decision.outcome is QuorumOutcome.INQUORATE
+
+
+def test_error_then_undecided_while_votes_possible():
+    decision = evaluate([error("a"), present("b", 5)], 3, 2)
+    assert decision.outcome is QuorumOutcome.UNDECIDED
+
+
+def test_r1_single_vote_decides():
+    decision = evaluate([present("a", 5)], 1, 1)
+    assert decision.outcome is QuorumOutcome.PRESENT
+    assert decision.unanimous
+
+
+def test_r1_absent_decides_miss():
+    decision = evaluate([absent("a")], 1, 1)
+    assert decision.outcome is QuorumOutcome.ABSENT
+
+
+def test_absent_and_present_tie_with_quorum_two():
+    # 1 present + 1 absent, one outstanding: still undecided.
+    decision = evaluate([present("a", 5), absent("b")], 3, 2)
+    assert decision.outcome is QuorumOutcome.UNDECIDED
+    # Third vote resolves either way.
+    with_third = evaluate([present("a", 5), absent("b"), absent("c")], 3, 2)
+    assert with_third.outcome is QuorumOutcome.ABSENT

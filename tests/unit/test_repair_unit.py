@@ -1,0 +1,131 @@
+"""Focused unit tests for repair-scanner internals (§5.4)."""
+
+import pytest
+
+from repro.core import (Cell, CellSpec, RepairConfig, ReplicationMode,
+                        VersionNumber)
+from repro.core.repair import RepairScanner
+
+
+def build():
+    cell = Cell(CellSpec(mode=ReplicationMode.R3_2, num_shards=3,
+                         transport="pony",
+                         repair_config=RepairConfig(enabled=False)))
+    client = cell.connect_client()
+    return cell, client
+
+
+def scanner_for(cell, task="backend-0"):
+    return RepairScanner(cell.sim, cell, cell.backend_by_task(task))
+
+
+def run(cell, gen):
+    return cell.sim.run(until=cell.sim.process(gen))
+
+
+def v(n):
+    return VersionNumber(n, 0, 0)
+
+
+def test_find_dirty_flags_missing_replica():
+    cell, _client = build()
+    scanner = scanner_for(cell)
+    kh = b"h" * 16
+    summaries = {"a": {kh: v(5)}, "b": {kh: v(5)}, "c": {}}
+    dirty = scanner._find_dirty(summaries)
+    assert len(dirty) == 1
+    key_hash, source = dirty[0]
+    assert key_hash == kh
+    assert source in ("a", "b")
+
+
+def test_find_dirty_flags_stale_replica():
+    cell, _client = build()
+    scanner = scanner_for(cell)
+    kh = b"h" * 16
+    summaries = {"a": {kh: v(9)}, "b": {kh: v(9)}, "c": {kh: v(3)}}
+    dirty = scanner._find_dirty(summaries)
+    assert len(dirty) == 1
+    _kh, source = dirty[0]
+    # The source must hold the highest version.
+    assert source in ("a", "b")
+
+
+def test_find_dirty_ignores_clean_keys():
+    cell, _client = build()
+    scanner = scanner_for(cell)
+    kh1, kh2 = b"1" * 16, b"2" * 16
+    summaries = {"a": {kh1: v(5), kh2: v(2)},
+                 "b": {kh1: v(5), kh2: v(2)},
+                 "c": {kh1: v(5), kh2: v(2)}}
+    assert scanner._find_dirty(summaries) == []
+
+
+def test_find_dirty_three_way_divergence_sources_max():
+    cell, _client = build()
+    scanner = scanner_for(cell)
+    kh = b"h" * 16
+    summaries = {"a": {kh: v(1)}, "b": {kh: v(2)}, "c": {kh: v(3)}}
+    dirty = scanner._find_dirty(summaries)
+    assert dirty == [(kh, "c")]
+
+
+def test_scan_once_counts_scans():
+    cell, client = build()
+    scanner = scanner_for(cell)
+
+    def app():
+        yield from client.set(b"k", b"v")
+        yield from scanner.scan_once()
+
+    run(cell, app())
+    assert scanner.stats.scans == 1
+    assert scanner.stats.dirty_quorums_found == 0
+
+
+def test_repair_uses_fresh_version():
+    """Repairs install at a new version higher than the damaged one."""
+    cell, client = build()
+    scanner = scanner_for(cell, "backend-0")
+
+    def app():
+        yield from client.set(b"k", b"v")
+        victim = cell.backend_by_task("backend-1")
+        key_hash = victim.placement.key_hash(b"k")
+        yield from victim._remove_entry(key_hash)
+        old_versions = {b.task_name: b.lookup_local(b"k")
+                        for b in cell.serving_backends()}
+        yield from scanner.scan_once()
+        return old_versions
+
+    old_versions = run(cell, app())
+    surviving = [found[1] for found in old_versions.values()
+                 if found is not None]
+    new_versions = {b.lookup_local(b"k")[1]
+                    for b in cell.serving_backends()}
+    assert len(new_versions) == 1
+    assert next(iter(new_versions)) > max(surviving)
+    assert scanner.stats.keys_repaired == 1
+
+
+def test_scanner_tolerates_down_peer():
+    cell, client = build()
+    scanner = scanner_for(cell, "backend-0")
+
+    def app():
+        yield from client.set(b"k", b"v")
+        cell.backend_by_task("backend-2").crash()
+        yield from scanner.scan_once()  # must not raise
+
+    run(cell, app())
+    assert scanner.stats.scans == 1
+
+
+def test_scanner_start_is_idempotent():
+    cell, _client = build()
+    scanner = scanner_for(cell)
+    scanner.config.enabled = True
+    scanner.start()
+    first = scanner._proc
+    scanner.start()
+    assert scanner._proc is first

@@ -1,0 +1,230 @@
+"""Unit tests for the RPC framework (wire, auth, channels, servers)."""
+
+import pytest
+
+from repro.net import Fabric, FabricConfig, gbps
+from repro.rpc import (Acl, ApplicationError, AuthConfig, Authenticator,
+                       DeadlineExceededError, Message, MethodNotFoundError,
+                       PermissionDeniedError, Principal, ProtocolVersion,
+                       RpcServer, UnavailableError, VersionMismatchError,
+                       connect, estimate_size)
+from repro.sim import Simulator
+
+
+def build(handler_map=None, acl=None, auth=None, server_versions=None):
+    sim = Simulator()
+    fabric = Fabric(sim, FabricConfig(host_rate_bytes_per_sec=gbps(50.0),
+                                      one_way_delay=4e-6, delay_jitter=0.0))
+    client_host = fabric.add_host("client")
+    server_host = fabric.add_host("server")
+    kwargs = {}
+    if server_versions:
+        kwargs["min_version"], kwargs["max_version"] = server_versions
+    server = RpcServer(sim, server_host, "svc", acl=acl, **kwargs)
+    for method, handler in (handler_map or {}).items():
+        server.register(method, handler)
+    channel = connect(sim, fabric, client_host, server, Principal("tester"),
+                      authenticator=auth)
+    return sim, fabric, client_host, server_host, server, channel
+
+
+def echo_handler(payload, context):
+    yield context.sim.timeout(0)
+    return {"echo": payload.get("msg")}
+
+
+def run_call(sim, channel, method, payload, **kwargs):
+    def caller():
+        result = yield from channel.call(method, payload, **kwargs)
+        return result
+    return sim.run(until=sim.process(caller()))
+
+
+def test_estimate_size_primitives():
+    assert estimate_size(None) == 1
+    assert estimate_size(7) == 8
+    assert estimate_size(b"abcd") == 4
+    assert estimate_size("hey") == 3
+    assert estimate_size({"k": "vv"}) > 3
+    assert estimate_size([1, 2]) == 20
+
+
+def test_message_wire_size_override():
+    small = Message("M", {"x": 1})
+    big = Message("M", {"x": 1}, size_override=10_000)
+    assert big.wire_size > small.wire_size
+    assert big.wire_size >= 10_000
+
+
+def test_protocol_version_ordering():
+    assert ProtocolVersion(1, 0) < ProtocolVersion(1, 5) < ProtocolVersion(2, 0)
+    assert ProtocolVersion(1, 3).compatible_with(ProtocolVersion(1, 0),
+                                                 ProtocolVersion(1, 9))
+
+
+def test_basic_call_roundtrip():
+    sim, *_rest, channel = build({"Echo": echo_handler})
+    result = run_call(sim, channel, "Echo", {"msg": "hi"})
+    assert result == {"echo": "hi"}
+    assert sim.now > 0
+
+
+def test_call_charges_framework_cpu_both_sides():
+    sim, _f, client_host, server_host, server, channel = build(
+        {"Echo": echo_handler})
+    run_call(sim, channel, "Echo", {"msg": "hi"})
+    client_cpu = client_host.ledger.total()
+    server_cpu = server_host.ledger.total()
+    # The paper's headline: >50us combined for even an empty RPC.
+    assert client_cpu + server_cpu > 50e-6
+    assert client_cpu > 20e-6
+    assert server_cpu > 20e-6
+
+
+def test_call_metrics_count_bytes():
+    sim, *_rest, server, channel = build({"Echo": echo_handler})
+    run_call(sim, channel, "Echo", {"msg": "hi"})
+    assert channel.metrics.calls == 1
+    assert channel.metrics.errors == 0
+    assert channel.metrics.bytes_sent > 0
+    assert server.metrics.total_bytes == channel.metrics.total_bytes
+
+
+def test_method_not_found():
+    sim, *_rest, channel = build({})
+    with pytest.raises(MethodNotFoundError):
+        run_call(sim, channel, "Nope", {})
+
+
+def test_handler_exception_wrapped():
+    def bad(payload, context):
+        yield context.sim.timeout(0)
+        raise KeyError("missing")
+
+    sim, *_rest, channel = build({"Bad": bad})
+    with pytest.raises(ApplicationError) as excinfo:
+        run_call(sim, channel, "Bad", {})
+    assert isinstance(excinfo.value.cause, KeyError)
+
+
+def test_deadline_exceeded():
+    def slow(payload, context):
+        yield context.sim.timeout(10e-3)
+        return {}
+
+    sim, *_rest, channel = build({"Slow": slow})
+    with pytest.raises(DeadlineExceededError):
+        run_call(sim, channel, "Slow", {}, deadline=1e-3)
+
+
+def test_deadline_not_triggered_when_fast():
+    sim, *_rest, channel = build({"Echo": echo_handler})
+    result = run_call(sim, channel, "Echo", {"msg": "x"}, deadline=10e-3)
+    assert result == {"echo": "x"}
+
+
+def test_unavailable_when_server_stopped():
+    sim, *_rest, server, channel = build({"Echo": echo_handler})
+    server.stop()
+    with pytest.raises(UnavailableError):
+        run_call(sim, channel, "Echo", {"msg": "x"})
+    assert channel.metrics.errors == 1
+
+
+def test_unavailable_when_host_crashed():
+    sim, _f, _ch_host, server_host, _server, channel = build(
+        {"Echo": echo_handler})
+    server_host.crash()
+    with pytest.raises(UnavailableError):
+        run_call(sim, channel, "Echo", {"msg": "x"})
+
+
+def test_server_restart_restores_service():
+    sim, *_rest, server, channel = build({"Echo": echo_handler})
+    server.stop()
+    server.start()
+    assert run_call(sim, channel, "Echo", {"msg": "y"}) == {"echo": "y"}
+
+
+def test_acl_denies_unauthorized_principal():
+    acl = Acl()
+    acl.allow("Echo", "someone-else")
+    sim, *_rest, channel = build({"Echo": echo_handler}, acl=acl)
+    with pytest.raises(PermissionDeniedError):
+        run_call(sim, channel, "Echo", {"msg": "x"})
+
+
+def test_acl_allows_authorized_principal():
+    acl = Acl()
+    acl.allow("Echo", "tester")
+    sim, *_rest, channel = build({"Echo": echo_handler}, acl=acl)
+    assert run_call(sim, channel, "Echo", {"msg": "x"}) == {"echo": "x"}
+
+
+def test_acl_wildcard_method():
+    acl = Acl()
+    acl.allow("*", "tester")
+    sim, *_rest, channel = build({"Echo": echo_handler}, acl=acl)
+    assert run_call(sim, channel, "Echo", {"msg": "x"}) == {"echo": "x"}
+
+
+def test_version_mismatch_rejected():
+    sim, *_rest, channel = build(
+        {"Echo": echo_handler},
+        server_versions=(ProtocolVersion(2, 0), ProtocolVersion(2, 9)))
+    with pytest.raises(VersionMismatchError):
+        run_call(sim, channel, "Echo", {"msg": "x"})
+
+
+def test_auth_handshake_costs_cpu_and_rtts():
+    auth = Authenticator(AuthConfig(enabled=True, handshake_cpu=30e-6,
+                                    handshake_rtts=2))
+    sim, _f, client_host, server_host, _server, channel = build(
+        {"Echo": echo_handler}, auth=auth)
+    run_call(sim, channel, "Echo", {"msg": "x"})
+    assert auth.handshakes == 1
+    assert client_host.ledger.total() > 30e-6
+    # Second call reuses the channel: no new handshake.
+    run_call(sim, channel, "Echo", {"msg": "x"})
+    assert auth.handshakes == 1
+
+
+def test_large_response_size_override_slows_transfer():
+    def small(payload, context):
+        yield context.sim.timeout(0)
+        return {"ok": True}
+
+    def large(payload, context):
+        yield context.sim.timeout(0)
+        context.response_size_override = 10 ** 6
+        return {"ok": True}
+
+    sim1, *_r1, ch1 = build({"M": small})
+    run_call(sim1, ch1, "M", {})
+    t_small = sim1.now
+
+    sim2, *_r2, ch2 = build({"M": large})
+    run_call(sim2, ch2, "M", {})
+    t_large = sim2.now
+    assert t_large > t_small + 1e-4  # ~160us of extra serialization at 50Gbps
+
+
+def test_concurrent_calls_interleave():
+    def slow(payload, context):
+        yield context.sim.timeout(1e-3)
+        return {"id": payload["id"]}
+
+    sim, *_rest, channel = build({"Slow": slow})
+    results = []
+
+    def caller(i):
+        result = yield from channel.call("Slow", {"id": i})
+        results.append((sim.now, result["id"]))
+
+    for i in range(3):
+        sim.process(caller(i))
+    sim.run()
+    # All three overlap on the server (handlers run concurrently),
+    # so they all finish close to 1ms, not 3ms.
+    assert max(t for t, _ in results) < 2e-3
+    assert sorted(i for _, i in results) == [0, 1, 2]

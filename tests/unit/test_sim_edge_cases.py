@@ -1,0 +1,190 @@
+"""Edge-case tests for the simulation kernel and condition events."""
+
+import pytest
+
+from repro.sim import (AllOf, AnyOf, Event, Interrupt, SimulationError,
+                       Simulator)
+
+
+def test_all_of_empty_succeeds_immediately():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        values = yield sim.all_of([])
+        got.append(values)
+
+    sim.process(proc())
+    sim.run()
+    assert got == [[]]
+
+
+def test_all_of_with_pre_triggered_children():
+    sim = Simulator()
+    a = sim.event()
+    a.succeed("early")
+    got = []
+
+    def proc():
+        b = sim.timeout(1.0, "late")
+        values = yield sim.all_of([a, b])
+        got.append(values)
+
+    sim.process(proc())
+    sim.run()
+    assert got == [["early", "late"]]
+
+
+def test_all_of_failure_propagates_first_error():
+    sim = Simulator()
+    caught = []
+
+    def failing():
+        yield sim.timeout(1.0)
+        raise RuntimeError("child died")
+
+    def proc():
+        try:
+            yield sim.all_of([sim.process(failing()), sim.timeout(5.0)])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.process(proc())
+    sim.run()
+    assert caught == ["child died"]
+
+
+def test_any_of_with_pre_triggered_child_wins():
+    sim = Simulator()
+    a = sim.event()
+    a.succeed("instant")
+    got = []
+
+    def proc():
+        event, value = yield sim.any_of([a, sim.timeout(10.0)])
+        got.append(value)
+
+    sim.process(proc())
+    sim.run()
+    assert got == ["instant"]
+
+
+def test_nested_conditions():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        inner = sim.all_of([sim.timeout(1.0, "a"), sim.timeout(2.0, "b")])
+        _event, value = yield sim.any_of([inner, sim.timeout(10.0)])
+        got.append((sim.now, value))
+
+    sim.process(proc())
+    sim.run()
+    assert got == [(2.0, ["a", "b"])]
+
+
+def test_run_until_past_time_rejected():
+    sim = Simulator()
+    sim.call_in(5.0, lambda: None)
+    sim.run()
+    assert sim.now == 5.0
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0)
+
+
+def test_run_until_untriggered_event_raises():
+    sim = Simulator()
+    never = sim.event()
+    with pytest.raises(SimulationError):
+        sim.run(until=never)
+
+
+def test_event_fail_requires_exception():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        ev.fail("not an exception")
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_interrupt_cause_roundtrip():
+    sim = Simulator()
+    causes = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as intr:
+            causes.append(intr.cause)
+
+    proc = sim.process(sleeper())
+    sim.call_in(1.0, proc.interrupt, {"reason": "shutdown"})
+    sim.run()
+    assert causes == [{"reason": "shutdown"}]
+
+
+def test_double_interrupt_delivers_once_then_noop():
+    sim = Simulator()
+    hits = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt:
+            hits.append("first")
+        # Second interrupt arrives while we are not waiting on anything
+        # interruptible anymore; process simply finishes.
+        return "done"
+
+    proc = sim.process(sleeper())
+    sim.call_in(1.0, proc.interrupt)
+    sim.call_in(1.0, proc.interrupt)
+    proc.defused = True
+    sim.run()
+    assert hits == ["first"]
+
+
+def test_process_name_from_generator():
+    sim = Simulator()
+
+    def my_named_proc():
+        yield sim.timeout(0)
+
+    proc = sim.process(my_named_proc(), name="explicit")
+    assert proc.name == "explicit"
+    sim.run()
+
+
+def test_simultaneous_events_fifo():
+    sim = Simulator()
+    order = []
+    for tag in range(5):
+        sim.call_in(1.0, order.append, tag)
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_process_chain_return_values():
+    sim = Simulator()
+
+    def level3():
+        yield sim.timeout(1.0)
+        return 3
+
+    def level2():
+        value = yield sim.process(level3())
+        return value * 2
+
+    def level1():
+        value = yield sim.process(level2())
+        return value + 1
+
+    assert sim.run(until=sim.process(level1())) == 7

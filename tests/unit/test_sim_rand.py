@@ -1,0 +1,101 @@
+"""Unit tests for random streams and workload distributions."""
+
+import pytest
+
+from repro.sim import MixtureSizeDistribution, RandomStream, ZipfSampler, percentile
+
+
+def test_same_seed_same_sequence():
+    a = RandomStream(7, "net")
+    b = RandomStream(7, "net")
+    assert [a.randint(0, 100) for _ in range(10)] == \
+           [b.randint(0, 100) for _ in range(10)]
+
+
+def test_different_names_different_sequences():
+    a = RandomStream(7, "net")
+    b = RandomStream(7, "cpu")
+    assert [a.randint(0, 10 ** 9) for _ in range(5)] != \
+           [b.randint(0, 10 ** 9) for _ in range(5)]
+
+
+def test_child_streams_are_deterministic():
+    a = RandomStream(3).child("x")
+    b = RandomStream(3).child("x")
+    assert a.random() == b.random()
+
+
+def test_expovariate_mean():
+    stream = RandomStream(11, "exp")
+    n = 20000
+    mean = sum(stream.expovariate(10.0) for _ in range(n)) / n
+    assert mean == pytest.approx(0.1, rel=0.05)
+
+
+def test_zipf_is_skewed_and_in_range():
+    stream = RandomStream(5, "zipf")
+    sampler = ZipfSampler(stream, n=1000, s=0.99)
+    draws = [sampler.sample() for _ in range(20000)]
+    assert all(0 <= d < 1000 for d in draws)
+    top = sum(1 for d in draws if d == 0) / len(draws)
+    bottom = sum(1 for d in draws if d == 999) / len(draws)
+    assert top > 50 * max(bottom, 1e-6)
+
+
+def test_zipf_uniform_when_s_zero():
+    stream = RandomStream(5, "zipf0")
+    sampler = ZipfSampler(stream, n=10, s=0.0)
+    draws = [sampler.sample() for _ in range(50000)]
+    for rank in range(10):
+        frac = sum(1 for d in draws if d == rank) / len(draws)
+        assert frac == pytest.approx(0.1, abs=0.01)
+
+
+def test_zipf_rejects_empty():
+    with pytest.raises(ValueError):
+        ZipfSampler(RandomStream(1), n=0)
+
+
+def test_mixture_sizes_respect_bounds():
+    stream = RandomStream(9, "sizes")
+    dist = MixtureSizeDistribution(
+        stream, [(0.9, 6.0, 1.0), (0.1, 11.0, 1.0)],
+        min_size=16, max_size=65536)
+    draws = [dist.sample() for _ in range(5000)]
+    assert all(16 <= d <= 65536 for d in draws)
+
+
+def test_mixture_has_small_body_and_large_tail():
+    stream = RandomStream(9, "sizes2")
+    dist = MixtureSizeDistribution(
+        stream, [(0.9, 6.0, 0.5), (0.1, 11.0, 0.5)])
+    draws = sorted(dist.sample() for _ in range(20000))
+    assert percentile(draws, 50) < 2000
+    assert percentile(draws, 99) > 20000
+
+
+def test_mixture_rejects_empty_components():
+    with pytest.raises(ValueError):
+        MixtureSizeDistribution(RandomStream(1), [])
+
+
+def test_mixture_cdf_points_monotone():
+    stream = RandomStream(2, "cdf")
+    dist = MixtureSizeDistribution(stream, [(1.0, 7.0, 1.0)])
+    points = dist.cdf_points(samples=2000)
+    fracs = [f for _s, f in points]
+    assert fracs == sorted(fracs)
+    assert fracs[-1] == 1.0
+
+
+def test_percentile_nearest_rank():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 50) == 2.0
+    assert percentile(values, 100) == 4.0
+    assert percentile(values, 99) == 4.0
+
+
+def test_percentile_rejects_empty():
+    with pytest.raises(ValueError):
+        percentile([], 50)

@@ -1,0 +1,230 @@
+"""Unit tests for Resource and Store primitives."""
+
+import pytest
+
+from repro.sim import Resource, SimulationError, Simulator, Store
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    log = []
+
+    def worker(tag, hold):
+        req = res.request()
+        yield req
+        log.append(("start", tag, sim.now))
+        yield sim.timeout(hold)
+        res.release(req)
+        log.append(("end", tag, sim.now))
+
+    for tag, hold in [("a", 5.0), ("b", 5.0), ("c", 5.0)]:
+        sim.process(worker(tag, hold))
+    sim.run()
+    starts = {tag: t for kind, tag, t in log if kind == "start"}
+    assert starts["a"] == 0.0
+    assert starts["b"] == 0.0
+    assert starts["c"] == 5.0  # queued behind the first two
+
+
+def test_resource_fifo_order():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def worker(tag):
+        req = res.request()
+        yield req
+        order.append(tag)
+        yield sim.timeout(1.0)
+        res.release(req)
+
+    for tag in "abcd":
+        sim.process(worker(tag))
+    sim.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_resource_priority_order():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def holder():
+        req = res.request()
+        yield req
+        yield sim.timeout(1.0)
+        res.release(req)
+
+    def worker(tag, priority, delay):
+        yield sim.timeout(delay)
+        req = res.request(priority=priority)
+        yield req
+        order.append(tag)
+        res.release(req)
+
+    sim.process(holder())
+    sim.process(worker("low", 10, 0.1))
+    sim.process(worker("high", 0, 0.2))
+    sim.run()
+    assert order == ["high", "low"]
+
+
+def test_cancel_queued_request():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def holder():
+        req = res.request()
+        yield req
+        yield sim.timeout(10.0)
+        res.release(req)
+
+    sim.process(holder())
+    sim.run(until=1.0)
+    queued = res.request()
+    assert not queued.triggered
+    res.release(queued)  # cancel while still queued
+    assert res.queue_len == 0
+
+
+def test_release_unknown_request_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    other = Resource(sim, capacity=1)
+    req = other.request()
+    with pytest.raises(SimulationError):
+        res.release(req)
+
+
+def test_set_capacity_grows_and_grants():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    started = []
+
+    def worker(tag):
+        req = res.request()
+        yield req
+        started.append((tag, sim.now))
+        yield sim.timeout(100.0)
+        res.release(req)
+
+    def grower():
+        yield sim.timeout(5.0)
+        res.set_capacity(2)
+
+    sim.process(worker("a"))
+    sim.process(worker("b"))
+    sim.process(grower())
+    sim.run(until=50.0)
+    assert ("a", 0.0) in started
+    assert ("b", 5.0) in started
+
+
+def test_capacity_must_be_positive():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+    res = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        res.set_capacity(0)
+
+
+def test_utilization_tracking():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def worker():
+        req = res.request()
+        yield req
+        yield sim.timeout(4.0)
+        res.release(req)
+
+    sim.process(worker())
+    sim.run(until=8.0)
+    # Busy 4s of 8s on one slot -> 50% utilization.
+    assert res.utilization() == pytest.approx(0.5)
+
+
+def test_utilization_checkpoint_window():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+
+    def worker(start, hold):
+        yield sim.timeout(start)
+        req = res.request()
+        yield req
+        yield sim.timeout(hold)
+        res.release(req)
+
+    sim.process(worker(0.0, 10.0))
+    sim.run(until=5.0)
+    ckpt = res.checkpoint()
+    sim.process(worker(0.0, 5.0))  # second slot busy from t=5 to t=10
+    sim.run(until=10.0)
+    # Window [5, 10]: both slots busy -> utilization 1.0.
+    assert res.utilization_since(ckpt) == pytest.approx(1.0)
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+    got = []
+
+    def getter():
+        got.append((yield store.get()))
+
+    sim.process(getter())
+    sim.run()
+    assert got == ["x"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def getter():
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    def putter():
+        yield sim.timeout(3.0)
+        store.put("y")
+
+    sim.process(getter())
+    sim.process(putter())
+    sim.run()
+    assert got == [(3.0, "y")]
+
+
+def test_store_fifo_between_getters():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def getter(tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    sim.process(getter("g1"))
+    sim.process(getter("g2"))
+
+    def putter():
+        yield sim.timeout(1.0)
+        store.put(1)
+        store.put(2)
+
+    sim.process(putter())
+    sim.run()
+    assert got == [("g1", 1), ("g2", 2)]
+
+
+def test_store_try_get():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.try_get() is None
+    store.put(5)
+    assert store.try_get() == 5
+    assert len(store) == 0

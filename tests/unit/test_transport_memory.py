@@ -1,0 +1,116 @@
+"""Unit tests for RMA memory: arenas, windows, registration, revocation."""
+
+import pytest
+
+from repro.net import Fabric, FabricConfig
+from repro.sim import Simulator
+from repro.transport import (Arena, MemoryRegion, RegionRevokedError,
+                             RegistrationCostModel, RmaEndpoint,
+                             RmaOutOfBoundsError)
+
+
+def test_arena_initial_population():
+    arena = Arena(initial_bytes=1024, virtual_limit=4096)
+    assert arena.populated == 1024
+    assert arena.virtual_limit == 4096
+
+
+def test_arena_rejects_initial_beyond_virtual_limit():
+    with pytest.raises(ValueError):
+        Arena(initial_bytes=8192, virtual_limit=4096)
+
+
+def test_arena_grow_extends_population():
+    arena = Arena(1024, 4096)
+    arena.grow(2048)
+    assert arena.populated == 2048
+    # New bytes are zeroed.
+    assert arena.read(1024, 1024) == bytes(1024)
+
+
+def test_arena_grow_cannot_shrink_or_exceed():
+    arena = Arena(1024, 4096)
+    with pytest.raises(ValueError):
+        arena.grow(512)
+    with pytest.raises(ValueError):
+        arena.grow(8192)
+
+
+def test_arena_read_write_roundtrip():
+    arena = Arena(128, 128)
+    arena.write(10, b"hello")
+    assert arena.read(10, 5) == b"hello"
+
+
+def test_arena_bounds_checked():
+    arena = Arena(64, 64)
+    with pytest.raises(RmaOutOfBoundsError):
+        arena.read(60, 8)
+    with pytest.raises(RmaOutOfBoundsError):
+        arena.write(62, b"xyz")
+
+
+def test_window_reads_through_to_arena():
+    arena = Arena(128, 256)
+    window = MemoryRegion(arena)
+    arena.write(0, b"abc")
+    assert window.read(0, 3) == b"abc"
+
+
+def test_overlapping_windows_share_bytes():
+    """Reshaping exposes a second larger window over the same arena."""
+    arena = Arena(128, 1024)
+    old = MemoryRegion(arena, limit=128)
+    arena.grow(512)
+    new = MemoryRegion(arena, limit=512)
+    new.write(100, b"shared")
+    assert old.read(100, 6) == b"shared"
+    assert new.region_id != old.region_id
+    # Old window still bounded by its original limit.
+    with pytest.raises(RmaOutOfBoundsError):
+        old.read(200, 16)
+
+
+def test_window_revocation_blocks_reads():
+    arena = Arena(64, 64)
+    window = MemoryRegion(arena)
+    window.revoke()
+    with pytest.raises(RegionRevokedError):
+        window.read(0, 8)
+
+
+def test_registration_cost_scales_with_pages():
+    model = RegistrationCostModel(base_seconds=50e-6,
+                                  per_page_seconds=0.25e-6, page_bytes=4096)
+    small = model.registration_time(4096)
+    large = model.registration_time(4096 * 1000)
+    assert small == pytest.approx(50.25e-6)
+    assert large == pytest.approx(50e-6 + 250e-6)
+
+
+def test_endpoint_expose_resolve_revoke():
+    sim = Simulator()
+    fabric = Fabric(sim, FabricConfig())
+    host = fabric.add_host("h")
+    endpoint = RmaEndpoint(host)
+    arena = Arena(64, 64)
+    window = endpoint.expose(MemoryRegion(arena))
+    assert endpoint.resolve(window.region_id) is window
+    endpoint.revoke(window)
+    with pytest.raises(RegionRevokedError):
+        endpoint.resolve(window.region_id)
+    assert endpoint.window_count == 0
+
+
+def test_endpoint_unknown_region_is_revoked_error():
+    sim = Simulator()
+    fabric = Fabric(sim, FabricConfig())
+    endpoint = RmaEndpoint(fabric.add_host("h"))
+    with pytest.raises(RegionRevokedError):
+        endpoint.resolve(123456)
+
+
+def test_region_ids_are_unique():
+    arena = Arena(16, 16)
+    ids = {MemoryRegion(arena).region_id for _ in range(100)}
+    assert len(ids) == 100
