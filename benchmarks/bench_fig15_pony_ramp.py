@@ -19,7 +19,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 from _common import run_once
 
-from repro.analysis import LatencyRecorder, render_table
+from repro.analysis import render_table
 from repro.core import (BackendConfig, Cell, CellSpec, LookupStrategy,
                         ReplicationMode, SetStatus)
 from repro.net import Fabric, FabricConfig
@@ -87,10 +87,16 @@ def run_experiment():
     client_only_groups = [transport.engine_group(c.host)
                           for c in clients[CO_TENANT_CLIENTS:]]
 
+    # Every client records GET latency into the cell's shared registry;
+    # per-step percentiles are deltas against a sample-count checkpoint
+    # taken at the start of the step (Histogram.percentile(p, start=...)).
+    latency = cell.metrics.histogram("cliquemap_op_latency_seconds").labels(
+        op="get", strategy=LookupStrategy.SCAR.value)
+
     stream = RandomStream(99, "ramp")
     rows = []
     for step, rate in enumerate(RATE_STEPS):
-        recorder = LatencyRecorder()
+        checkpoint = latency.count
         step_start = sim.now
         end = step_start + STEP_SECONDS
 
@@ -98,14 +104,9 @@ def run_experiment():
             i = 0
             while sim.now < end:
                 yield sim.timeout(arrivals.expovariate(rate))
-                proc = sim.process(one_get(client, keys[i % len(keys)]))
+                proc = sim.process(client.get(keys[i % len(keys)]))
                 proc.defused = True
                 i += 1
-
-        def one_get(client, key):
-            result = yield from client.get(key)
-            if result.hit:
-                recorder.record(result.latency)
 
         procs = [sim.process(load(c, stream.child(f"{step}-{j}")))
                  for j, c in enumerate(clients)]
@@ -116,9 +117,9 @@ def run_experiment():
                           for g in client_only_groups) / len(client_only_groups)
         rows.append([
             f"{rate * len(clients):,.0f}",
-            recorder.percentile(50) * 1e6,
-            recorder.percentile(90) * 1e6,
-            recorder.percentile(99) * 1e6,
+            latency.percentile(50, start=checkpoint) * 1e6,
+            latency.percentile(90, start=checkpoint) * 1e6,
+            latency.percentile(99, start=checkpoint) * 1e6,
             f"{co:.2f}",
             f"{client_only:.2f}",
         ])

@@ -14,11 +14,17 @@ from repro import Cell, CellSpec, GetStatus, LookupStrategy, ReplicationMode
 
 def main():
     # A six-shard R=3.2 cell: every key lives on three adjacent backends
-    # and reads take a client-side quorum of two.
-    cell = Cell(CellSpec(name="quickstart", mode=ReplicationMode.R3_2,
-                         num_shards=6, transport="pony"))
-    client = cell.connect_client()          # SCAR lookups (Pony Express)
-    rpc_client = cell.connect_client(strategy=LookupStrategy.RPC)
+    # and reads take a client-side quorum of two. Clients are context
+    # managers: on exit they flush buffered touch batches and release
+    # their telemetry series.
+    with Cell(CellSpec(name="quickstart", mode=ReplicationMode.R3_2,
+                       num_shards=6, transport="pony")) as cell, \
+            cell.connect_client() as client, \
+            cell.connect_client(strategy=LookupStrategy.RPC) as rpc_client:
+        run(cell, client, rpc_client)
+
+
+def run(cell, client, rpc_client):
     sim = cell.sim
 
     def app():

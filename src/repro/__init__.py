@@ -25,15 +25,17 @@ Quickstart::
 
 from .core import (Backend, BackendConfig, Cell, CellSpec, ClientConfig,
                    CliqueMapClient, Federation, FederationSpec, GetResult,
-                   GetStatus, LookupStrategy, MutationResult,
-                   ReplicationMode, SetStatus, VersionNumber)
+                   GetStatus, GetStrategy, LookupStrategy, MutationResult,
+                   OpResult, ReplicationMode, SetStatus, VersionNumber)
+from .telemetry import MetricsRegistry, Span, TraceContext, Tracer
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Backend", "BackendConfig", "Cell", "CellSpec", "ClientConfig",
     "CliqueMapClient", "Federation", "FederationSpec", "GetResult",
-    "GetStatus", "LookupStrategy", "MutationResult", "ReplicationMode",
-    "SetStatus", "VersionNumber",
+    "GetStatus", "GetStrategy", "LookupStrategy", "MutationResult",
+    "OpResult", "ReplicationMode", "SetStatus", "VersionNumber",
+    "MetricsRegistry", "Span", "TraceContext", "Tracer",
     "__version__",
 ]

@@ -2,13 +2,15 @@
 
 from .dashboard import (BackendSnapshot, CellSnapshot, ClientSnapshot,
                         snapshot_cell)
-from .reporting import render_percentile_lines, render_series, render_table
+from .reporting import (render_metrics, render_percentile_lines,
+                        render_series, render_table)
 from .stats import (CounterSeries, LatencyRecorder, TimeSeries, cdf_points,
                     cpu_ns_per_op, cpu_us_per_op)
 
 __all__ = [
     "BackendSnapshot", "CellSnapshot", "ClientSnapshot", "snapshot_cell",
-    "render_percentile_lines", "render_series", "render_table",
+    "render_metrics", "render_percentile_lines", "render_series",
+    "render_table",
     "CounterSeries", "LatencyRecorder", "TimeSeries", "cdf_points",
     "cpu_ns_per_op", "cpu_us_per_op",
 ]

@@ -57,6 +57,9 @@ class CellSnapshot:
     mode: str
     backends: List[BackendSnapshot]
     clients: List[ClientSnapshot]
+    # Full telemetry registry export (``cell.metrics.snapshot()``): one
+    # entry per metric family, each with its labeled series.
+    metrics: Dict[str, dict] = field(default_factory=dict)
 
     # -- aggregates -----------------------------------------------------------
 
@@ -154,6 +157,8 @@ def snapshot_cell(cell, clients=()) -> CellSnapshot:
             validation_failures=stats["validation_failures"],
             torn_reads=stats["torn_reads"], sets=stats["sets"]))
     config = cell.config_store.peek(cell.spec.name)
+    registry = getattr(cell, "metrics", None)
     return CellSnapshot(time=cell.sim.now, config_id=config.config_id,
                         mode=config.mode.value, backends=backends,
-                        clients=client_snaps)
+                        clients=client_snaps,
+                        metrics=registry.snapshot() if registry else {})

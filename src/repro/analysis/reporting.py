@@ -60,6 +60,48 @@ def render_percentile_lines(title: str, labeled_series, x_label: str = "t"
     return "\n".join(lines)
 
 
+def render_metrics(snapshot, title: str = "metrics") -> str:
+    """Render a ``MetricsRegistry.snapshot()`` as plain-text tables.
+
+    Counter and gauge series share one value table; histogram series get
+    a count/mean/percentile table. Families registered but with no series
+    yet are listed at the end so a sparse run still shows what exists.
+    """
+    value_rows: List[List] = []
+    hist_rows: List[List] = []
+    idle: List[str] = []
+    for name, family in sorted(snapshot.items()):
+        series = family.get("series", [])
+        if not series:
+            idle.append(name)
+            continue
+        for s in series:
+            labels = _labels_str(s.get("labels", {}))
+            if family.get("kind") == "histogram":
+                hist_rows.append([name, labels, s["count"], s["mean"],
+                                  s["p50"], s["p90"], s["p99"], s["p99.9"]])
+            else:
+                value_rows.append([name, labels, s["value"]])
+    parts = []
+    if value_rows:
+        parts.append(render_table(f"{title}: counters & gauges",
+                                  ["metric", "labels", "value"], value_rows))
+    if hist_rows:
+        parts.append(render_table(
+            f"{title}: histograms",
+            ["metric", "labels", "count", "mean", "p50", "p90", "p99",
+             "p99.9"], hist_rows))
+    if idle:
+        parts.append("(registered, no series yet: " + ", ".join(idle) + ")")
+    if not parts:
+        return f"== {title} ==\n(no metrics registered)"
+    return "\n".join(parts)
+
+
+def _labels_str(labels) -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
+
+
 def _fmt(value) -> str:
     if isinstance(value, float):
         if value == 0:

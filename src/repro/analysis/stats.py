@@ -35,6 +35,9 @@ class LatencyRecorder:
         return len(self._samples)
 
     def percentile(self, p: float) -> float:
+        """Nearest-rank percentile; ``nan`` when no samples are recorded."""
+        if not self._samples:
+            return math.nan
         if self._sorted is None:
             self._sorted = sorted(self._samples)
         return percentile(self._sorted, p)
@@ -43,8 +46,13 @@ class LatencyRecorder:
         return {p: self.percentile(p) for p in ps}
 
     def mean(self) -> float:
+        """Arithmetic mean; ``nan`` when no samples are recorded.
+
+        Empty recorders are routine (e.g. an error-only benchmark step),
+        so this degrades to ``nan`` — which propagates visibly through
+        arithmetic and formats as ``nan`` — instead of raising."""
         if not self._samples:
-            raise ValueError("no samples")
+            return math.nan
         return sum(self._samples) / len(self._samples)
 
     def reset(self) -> None:

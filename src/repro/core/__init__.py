@@ -4,8 +4,9 @@ from .backend import Backend, BackendConfig, BackendStats
 from .cell import Cell, CellSpec, make_transport
 from .checksum import CHECKSUM_BYTES, checksum_ok, kv_checksum
 from .client import (BackendView, ClientConfig, ClientCostModel,
-                     CliqueMapClient, GetResult, MutationResult)
-from .config import (CellConfig, ConfigStore, LookupStrategy, ReplicationMode)
+                     CliqueMapClient, GetResult, MutationResult, OpResult)
+from .config import (CellConfig, ConfigStore, GetStrategy, LookupStrategy,
+                     ReplicationMode)
 from .data import (DataEntryView, DataRegion, encode_entry_parts, entry_size,
                    try_decode)
 from .errors import CliqueMapError, GetStatus, SetStatus
@@ -31,8 +32,9 @@ __all__ = [
     "Cell", "CellSpec", "make_transport",
     "CHECKSUM_BYTES", "checksum_ok", "kv_checksum",
     "BackendView", "ClientConfig", "ClientCostModel", "CliqueMapClient",
-    "GetResult", "MutationResult",
-    "CellConfig", "ConfigStore", "LookupStrategy", "ReplicationMode",
+    "GetResult", "MutationResult", "OpResult",
+    "CellConfig", "ConfigStore", "GetStrategy", "LookupStrategy",
+    "ReplicationMode",
     "DataEntryView", "DataRegion", "encode_entry_parts", "entry_size",
     "try_decode",
     "CliqueMapError", "GetStatus", "SetStatus",

@@ -19,6 +19,7 @@ from typing import Dict, Generator, List, Optional, Tuple
 from ..net import Host
 from ..rpc import HandlerContext, RpcServer
 from ..sim import Resource, Simulator
+from ..telemetry import MetricsRegistry
 from ..transport import RegistrationCostModel, Transport
 from .config import CellConfig
 from .data import DataRegion, encode_entry_parts, entry_size, try_decode
@@ -88,7 +89,8 @@ class Backend:
                  shard: int, placement: Placement, cell: CellConfig,
                  config: Optional[BackendConfig] = None,
                  transport: Optional[Transport] = None,
-                 registration_cost: Optional[RegistrationCostModel] = None):
+                 registration_cost: Optional[RegistrationCostModel] = None,
+                 registry: Optional[MetricsRegistry] = None):
         self.sim = sim
         self.host = host
         self.task_name = task_name
@@ -100,6 +102,10 @@ class Backend:
         self.transport = transport
         self.registration_cost = registration_cost or RegistrationCostModel()
         self.stats = BackendStats()
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._m_handled = self.metrics.counter(
+            "cliquemap_backend_rpcs_total",
+            "RPCs handled by backend task and method")
 
         cfg = self.config
         self.index = IndexRegion(cfg.num_buckets, cfg.ways, self.config_id)
@@ -146,16 +152,32 @@ class Backend:
 
     def _register_handlers(self) -> None:
         server = self.rpc_server
-        server.register("Info", self._handle_info)
-        server.register("Set", self._handle_set)
-        server.register("Erase", self._handle_erase)
-        server.register("Cas", self._handle_cas)
-        server.register("Lookup", self._handle_lookup)
-        server.register("Touch", self._handle_touch)
-        server.register("ScanSummary", self._handle_scan_summary)
-        server.register("RepairGet", self._handle_repair_get)
-        server.register("MigrateIn", self._handle_migrate_in)
-        server.register("Defragment", self._handle_defragment)
+        for method, handler in (
+                ("Info", self._handle_info),
+                ("Set", self._handle_set),
+                ("Erase", self._handle_erase),
+                ("Cas", self._handle_cas),
+                ("Lookup", self._handle_lookup),
+                ("Touch", self._handle_touch),
+                ("ScanSummary", self._handle_scan_summary),
+                ("RepairGet", self._handle_repair_get),
+                ("MigrateIn", self._handle_migrate_in),
+                ("Defragment", self._handle_defragment)):
+            server.register(method, self._instrumented(method, handler))
+
+    def _instrumented(self, method: str, handler):
+        """Wrap a handler: count it and open a per-method child span."""
+
+        def wrapped(payload, context: HandlerContext) -> Generator:
+            self._m_handled.labels(task=self.task_name, method=method).inc()
+            span = context.span.child(f"handler.{method.lower()}",
+                                      task=self.task_name)
+            try:
+                return (yield from handler(payload, context))
+            finally:
+                span.finish()
+
+        return wrapped
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -15,11 +15,12 @@ from typing import Callable, Dict, Generator, List, Optional
 from ..net import Fabric, FabricConfig, Host, HostConfig
 from ..rpc import Acl, Principal
 from ..sim import Simulator
+from ..telemetry import MetricsRegistry, Tracer
 from ..transport import (OneRmaTransport, PonyTransport, RdmaTransport,
                          Transport)
 from .backend import Backend, BackendConfig
 from .client import ClientConfig, CliqueMapClient
-from .config import (CellConfig, ConfigStore, LookupStrategy, ReplicationMode)
+from .config import (CellConfig, ConfigStore, GetStrategy, ReplicationMode)
 from .hashing import Placement
 from .maintenance import MaintenanceConfig, MaintenanceController
 from .repair import RepairConfig, RepairScanner
@@ -79,11 +80,17 @@ class Cell:
             self.sim, read_latency=self.spec.config_store_latency)
         self.placement = Placement(self.spec.num_shards,
                                    self.spec.mode.replicas)
+        # One registry + tracer for the whole cell: every client created
+        # through make_client() records into these, so benchmarks and the
+        # dashboard read a single coherent snapshot.
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(clock=lambda: self.sim.now)
 
         self.backends: Dict[str, Backend] = {}
         self.scanners: Dict[str, RepairScanner] = {}
         self._spare_pool: List[str] = []
         self._client_count = 0
+        self._clients: List[CliqueMapClient] = []
 
         shard_tasks = []
         for shard in range(self.spec.num_shards):
@@ -117,7 +124,7 @@ class Cell:
         backend = Backend(self.sim, host, task, shard, self.placement,
                           self._cell_config_view(),
                           config=self.spec.backend_config,
-                          transport=self.transport)
+                          transport=self.transport, registry=self.metrics)
         if self.spec.writer_principals is not None:
             backend.rpc_server.acl = self._build_writer_acl()
         self.backends[task] = backend
@@ -213,7 +220,7 @@ class Cell:
         backend = Backend(self.sim, old.host, task, shard, self.placement,
                           self.config_store.peek(self.spec.name),
                           config=self.spec.backend_config,
-                          transport=self.transport)
+                          transport=self.transport, registry=self.metrics)
         self.backends[task] = backend
         if task in self.scanners or self.spec.repair_config.enabled:
             self._start_scanner(task)
@@ -224,7 +231,7 @@ class Cell:
     # ------------------------------------------------------------------
 
     def make_client(self, host: Optional[Host] = None,
-                    strategy: Optional[LookupStrategy] = None,
+                    strategy: Optional[GetStrategy] = None,
                     client_config: Optional[ClientConfig] = None,
                     host_config: Optional[HostConfig] = None,
                     zone: str = "local",
@@ -232,10 +239,15 @@ class Cell:
                     ) -> CliqueMapClient:
         """Create (but do not connect) a client; drive ``client.connect()``.
 
-        ``zone`` places the client in another datacenter: RMA is not
-        applicable across the WAN, so remote-zone clients default to the
-        RPC lookup strategy (Table 1, row 5).
+        ``strategy`` accepts a :class:`GetStrategy` member or its string
+        value (``"2xr"``, ``"scar"``, ``"msg"``, ``"rpc"``); anything else
+        raises :class:`~repro.core.errors.CliqueMapError` here rather
+        than failing mid-operation. ``zone`` places the client in another
+        datacenter: RMA is not applicable across the WAN, so remote-zone
+        clients default to the RPC lookup strategy (Table 1, row 5).
         """
+        if strategy is not None:
+            strategy = GetStrategy.coerce(strategy)
         if host is None:
             self._client_count += 1
             host = self.fabric.add_host(
@@ -243,7 +255,7 @@ class Cell:
                 host_config or self.spec.host_config, zone=zone)
         if zone != "local":
             if strategy is None:
-                strategy = LookupStrategy.RPC
+                strategy = GetStrategy.RPC
             if client_config is None:
                 # WAN-appropriate deadlines: each RPC crosses the
                 # inter-zone link twice.
@@ -253,17 +265,40 @@ class Cell:
                     mutation_rpc_deadline=max(0.2, 10 * wan_rtt),
                     reconnect_interval=max(0.1, 5 * wan_rtt))
         if self.transport is None and strategy is None:
-            strategy = LookupStrategy.RPC
-        return CliqueMapClient(
+            strategy = GetStrategy.RPC
+        client = CliqueMapClient(
             self.sim, self.fabric, host, self.spec.name, self.config_store,
             self.backend_by_task, self.transport, strategy=strategy,
-            config=client_config, principal=principal)
+            config=client_config, principal=principal,
+            registry=self.metrics, tracer=self.tracer)
+        self._clients.append(client)
+        return client
 
     def connect_client(self, **kwargs) -> CliqueMapClient:
-        """Create a client and run its connect() to completion."""
+        """Create a client and run its connect() to completion.
+
+        The returned client is a context manager::
+
+            with cell.connect_client() as client:
+                ...
+
+        flushes its buffered touch batches and releases its telemetry
+        series on exit.
+        """
         client = self.make_client(**kwargs)
         self.sim.run(until=self.sim.process(client.connect()))
         return client
+
+    def close(self) -> None:
+        """Close every client created through this cell (idempotent)."""
+        for client in self._clients:
+            client.close()
+
+    def __enter__(self) -> "Cell":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Aggregate stats

@@ -28,9 +28,11 @@ from ..net import Fabric, Host, NetworkDropError
 from ..rpc import (PermissionDeniedError, Principal, RpcChannel, RpcError,
                    connect as rpc_connect)
 from ..sim import Simulator
+from ..telemetry import (NULL_SPAN, MetricsRegistry, TraceContext, Tracer)
 from ..transport import (RegionRevokedError, RemoteHostDownError, RmaError,
                          Transport)
-from .config import (CellConfig, ConfigStore, LookupStrategy, ReplicationMode)
+from .config import (CellConfig, ConfigStore, GetStrategy, LookupStrategy,
+                     ReplicationMode)
 from .data import try_decode
 from .errors import GetStatus, SetStatus
 from .hashing import Placement
@@ -82,15 +84,35 @@ class ClientConfig:
 
 
 @dataclass
-class GetResult:
+class OpResult:
+    """Common shape of every client operation outcome.
+
+    :class:`GetResult` and :class:`MutationResult` share this surface:
+    a ``status`` enum, the end-to-end simulated ``latency``, how many
+    ``attempts`` the layered retry machinery used, an ``error`` reason
+    string for terminal failures, and — when tracing is enabled — the
+    operation's :class:`~repro.telemetry.TraceContext` in ``trace``.
+    """
+
+    status: object
+    latency: float = 0.0
+    attempts: int = 1
+    error: Optional[str] = None
+    trace: Optional[TraceContext] = None
+
+    @property
+    def ok(self) -> bool:
+        """True unless the operation terminally failed."""
+        return self.status not in (GetStatus.ERROR, SetStatus.FAILED)
+
+
+@dataclass
+class GetResult(OpResult):
     """Outcome of one GET."""
 
-    status: GetStatus
+    status: GetStatus = GetStatus.ERROR
     value: Optional[bytes] = None
     version: Optional[VersionNumber] = None
-    attempts: int = 1
-    latency: float = 0.0
-    error: Optional[str] = None
 
     @property
     def hit(self) -> bool:
@@ -98,13 +120,12 @@ class GetResult:
 
 
 @dataclass
-class MutationResult:
+class MutationResult(OpResult):
     """Outcome of a SET/ERASE/CAS."""
 
-    status: SetStatus
+    status: SetStatus = SetStatus.FAILED
     version: Optional[VersionNumber] = None
     replicas_applied: int = 0
-    latency: float = 0.0
     stored_version: Optional[VersionNumber] = None
 
 
@@ -143,9 +164,11 @@ class CliqueMapClient:
                  directory: Callable[[str], object],
                  transport: Transport,
                  principal: Optional[Principal] = None,
-                 strategy: Optional[LookupStrategy] = None,
+                 strategy: Optional[GetStrategy] = None,
                  config: Optional[ClientConfig] = None,
-                 truetime: Optional[TrueTime] = None):
+                 truetime: Optional[TrueTime] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None):
         self.sim = sim
         self.fabric = fabric
         self.host = host
@@ -157,10 +180,10 @@ class CliqueMapClient:
         self.client_id = next(_client_ids)
         self.config = config or ClientConfig()
         if strategy is None:
-            strategy = (LookupStrategy.SCAR
+            strategy = (GetStrategy.SCAR
                         if transport is not None and transport.supports_scar
-                        else LookupStrategy.TWO_R)
-        self.strategy = strategy
+                        else GetStrategy.TWO_R)
+        self.strategy = GetStrategy.coerce(strategy)
         self.truetime = truetime or TrueTime(sim)
         self.versions = VersionFactory(self.client_id, self.truetime)
 
@@ -170,6 +193,7 @@ class CliqueMapClient:
         self._pending_touches: Dict[str, List[bytes]] = {}
         self._touch_flusher_started = False
         self._reconnecting: set = set()
+        self._closed = False
 
         self.stats = {
             "gets": 0, "hits": 0, "misses": 0, "get_errors": 0,
@@ -178,6 +202,24 @@ class CliqueMapClient:
             "sets": 0, "erases": 0, "cas": 0, "overflow_lookups": 0,
             "torn_reads": 0, "version_races": 0,
         }
+
+        # Telemetry: a cell-shared registry when created via Cell, a
+        # private one for standalone clients; the tracer retains recent
+        # operation span trees (see repro.telemetry).
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer or Tracer(clock=lambda: self.sim.now)
+        self._m_ops = self.metrics.counter(
+            "cliquemap_ops_total",
+            "Completed client operations by op and terminal status")
+        self._m_latency = self.metrics.histogram(
+            "cliquemap_op_latency_seconds",
+            "End-to-end operation latency by op and lookup strategy")
+        self._m_retries = self.metrics.counter(
+            "cliquemap_retries_total",
+            "Per-attempt retries by op and hazard reason")
+        self._m_touch_pending = self.metrics.gauge(
+            "cliquemap_pending_touches",
+            "Key touches buffered awaiting the next batched Touch RPC")
 
     # ------------------------------------------------------------------
     # Connection management
@@ -269,20 +311,25 @@ class CliqueMapClient:
         key_hash = self.placement.key_hash(key)
         attempts = 0
         last_reason = "no-healthy-replicas"
+        root = self.tracer.start("get", client=self.client_id,
+                                 strategy=self.strategy.value)
 
         while attempts < self.config.max_retries and \
                 self.sim.now < deadline_at:
             attempts += 1
             try:
                 status, value, version = yield from self._attempt(
-                    key, key_hash, deadline_at)
+                    key, key_hash, deadline_at, root, attempts)
             except _AttemptRetry as retry:
                 self.stats["retries"] += 1
+                self._m_retries.labels(op="get", reason=retry.reason).inc()
                 last_reason = retry.reason
                 if retry.reason.startswith("validation"):
                     self.stats["validation_failures"] += 1
                 if retry.reason == "inquorate":
                     self.stats["inquorate"] += 1
+                recovery = root.child("retry", attempt=attempts,
+                                      reason=retry.reason)
                 for task in retry.stale_tasks:
                     yield from self._build_view(task)
                 if retry.refresh_config:
@@ -300,21 +347,42 @@ class CliqueMapClient:
                             yield from self._build_view(task)
                 if self.config.retry_backoff:
                     yield self.sim.timeout(self.config.retry_backoff)
+                recovery.finish()
                 continue
             latency = self.sim.now - started
+            root.finish()  # at the same instant latency is measured
             if status is GetStatus.HIT:
                 self.stats["hits"] += 1
                 self._note_touch(key_hash)
                 value = yield from self._decode_value(value)
                 return GetResult(GetStatus.HIT, value=value, version=version,
-                                 attempts=attempts, latency=latency)
+                                 attempts=attempts, latency=latency,
+                                 trace=self._finish_op("get", "hit", latency,
+                                                       root))
             self.stats["misses"] += 1
             return GetResult(GetStatus.MISS, attempts=attempts,
-                             latency=latency)
+                             latency=latency,
+                             trace=self._finish_op("get", "miss", latency,
+                                                   root))
 
         self.stats["get_errors"] += 1
-        return GetResult(GetStatus.ERROR, attempts=attempts,
-                         latency=self.sim.now - started, error=last_reason)
+        latency = self.sim.now - started
+        root.annotate(error=last_reason).finish()
+        return GetResult(GetStatus.ERROR, attempts=attempts, latency=latency,
+                         error=last_reason,
+                         trace=self._finish_op("get", "error", latency, root))
+
+    def _finish_op(self, op: str, status: str, latency: float,
+                   root) -> Optional[TraceContext]:
+        """Record terminal metrics + trace for one operation."""
+        self._m_ops.labels(op=op, status=status).inc()
+        self._m_latency.labels(op=op, strategy=self.strategy.value).observe(
+            latency)
+        if not root:  # tracing disabled: NULL_SPAN is falsy
+            return None
+        root.annotate(status=status)
+        self.tracer.record(root)
+        return TraceContext(root)
 
     def get_multi(self, keys: List[bytes],
                   deadline: Optional[float] = None) -> Generator:
@@ -325,28 +393,40 @@ class CliqueMapClient:
 
     # -- one attempt ---------------------------------------------------------
 
-    def _attempt(self, key: bytes, key_hash: bytes,
-                 deadline_at: float) -> Generator:
-        if self.strategy is LookupStrategy.RPC:
-            return (yield from self._attempt_rpc(key, key_hash, deadline_at))
-        if self.strategy is LookupStrategy.MSG:
-            return (yield from self._attempt_msg(key, key_hash))
+    def _attempt(self, key: bytes, key_hash: bytes, deadline_at: float,
+                 span=NULL_SPAN, attempt: int = 1) -> Generator:
+        if self.strategy is GetStrategy.RPC:
+            return (yield from self._attempt_rpc(key, key_hash, deadline_at,
+                                                 span, attempt))
+        if self.strategy is GetStrategy.MSG:
+            return (yield from self._attempt_msg(key, key_hash, span,
+                                                 attempt))
         views = self._replica_views(key_hash)
         quorum = self.cell.mode.quorum
         if len(views) < quorum:
             raise _AttemptRetry("no-healthy-replicas")
         if self.cell.mode is ReplicationMode.R2_IMMUTABLE:
-            return (yield from self._attempt_serial(key, key_hash, views))
-        if self.strategy is LookupStrategy.SCAR:
+            return (yield from self._attempt_serial(key, key_hash, views,
+                                                    span, attempt))
+        if self.strategy is GetStrategy.SCAR:
             return (yield from self._attempt_scar(key, key_hash, views,
-                                                  quorum))
-        return (yield from self._attempt_2xr(key, key_hash, views, quorum))
+                                                  quorum, span, attempt))
+        return (yield from self._attempt_2xr(key, key_hash, views, quorum,
+                                             span, attempt))
 
     def _attempt_2xr(self, key: bytes, key_hash: bytes,
-                     views: List[BackendView], quorum: int) -> Generator:
-        """Index fetch from all replicas; data from the first responder."""
+                     views: List[BackendView], quorum: int,
+                     span=NULL_SPAN, attempt: int = 1) -> Generator:
+        """Index fetch from all replicas; data from the first responder.
+
+        Phase spans (``index`` → ``data`` → ``validate``) are contiguous:
+        each starts the simulated instant the previous one ends, so their
+        durations sum to the attempt's share of the op latency.
+        """
         total = len(views)
-        pending = {self.sim.process(self._fetch_index(view, key_hash)): view
+        index_span = span.child("index", attempt=attempt)
+        pending = {self.sim.process(self._fetch_index(view, key_hash,
+                                                      index_span)): view
                    for view in views}
         votes: List[ReplicaVote] = []
         entries: Dict[str, object] = {}
@@ -376,9 +456,11 @@ class CliqueMapClient:
                 preferred_task = view.task
                 if vote.kind is VoteKind.PRESENT:
                     # Speculative data fetch from the first responder (or
-                    # from the logical primary under the ablation).
+                    # from the logical primary under the ablation). Its
+                    # transport span lands under the *index* phase — the
+                    # phase that initiated the speculation.
                     data_proc = self.sim.process(
-                        self._fetch_data(view, vote.entry))
+                        self._fetch_data(view, vote.entry, index_span))
                     data_task = view.task
             self.host.charge_inline(self.config.costs.quorum_cpu,
                                     "cliquemap-client")
@@ -392,16 +474,18 @@ class CliqueMapClient:
 
         if decision.outcome is QuorumOutcome.UNDECIDED:
             decision = evaluate(votes, len(votes), quorum)
+        index_span.finish()  # quorum settled: the index phase is over
         self._raise_for_failures(decision, stale, config_mismatch)
 
         if decision.outcome is QuorumOutcome.ABSENT:
             if data_proc is not None:
                 data_proc.defused = True
             return (yield from self._maybe_overflow_lookup(
-                key, view_by_task, overflow_seen[0]))
+                key, view_by_task, overflow_seen[0], span, attempt))
 
         # PRESENT: the data must come from a quorum member at the quorumed
         # version (§5.1 condition 4).
+        data_span = span.child("data", attempt=attempt)
         if data_task is None or data_task not in decision.members:
             if data_proc is not None:
                 data_proc.defused = True  # speculation failed; ignore it
@@ -414,16 +498,24 @@ class CliqueMapClient:
             else:
                 data_task = decision.members[0]
             data_proc = self.sim.process(self._fetch_data(
-                view_by_task[data_task], entries[data_task]))
+                view_by_task[data_task], entries[data_task], data_span))
         result = yield data_proc
-        return self._validate_data(key, key_hash, result, decision, stale,
-                                   data_task)
+        data_span.finish()
+        validate_span = span.child("validate", attempt=attempt)
+        try:
+            return self._validate_data(key, key_hash, result, decision,
+                                       stale, data_task)
+        finally:
+            validate_span.finish()
 
     def _attempt_scar(self, key: bytes, key_hash: bytes,
-                      views: List[BackendView], quorum: int) -> Generator:
+                      views: List[BackendView], quorum: int,
+                      span=NULL_SPAN, attempt: int = 1) -> Generator:
         """SCAR to all replicas: one round trip, three full data copies."""
         total = len(views)
-        pending = {self.sim.process(self._fetch_scar(view, key_hash)): view
+        scar_span = span.child("index", attempt=attempt, op="scar")
+        pending = {self.sim.process(self._fetch_scar(view, key_hash,
+                                                     scar_span)): view
                    for view in views}
         votes: List[ReplicaVote] = []
         data_by_task: Dict[str, Optional[bytes]] = {}
@@ -451,14 +543,16 @@ class CliqueMapClient:
 
         if decision.outcome is QuorumOutcome.UNDECIDED:
             decision = evaluate(votes, len(votes), quorum)
+        scar_span.finish()
         self._raise_for_failures(decision, stale, config_mismatch)
 
         if decision.outcome is QuorumOutcome.ABSENT:
             view_by_task = {view.task: view for view in views}
             return (yield from self._maybe_overflow_lookup(
-                key, view_by_task, overflow_seen[0]))
+                key, view_by_task, overflow_seen[0], span, attempt))
 
         # Prefer validating a copy fetched from a quorum member.
+        validate_span = span.child("validate", attempt=attempt)
         for task in decision.members:
             raw = data_by_task.get(task)
             if raw is None:
@@ -466,7 +560,9 @@ class CliqueMapClient:
             outcome = self._try_validate(key, key_hash, raw, decision)
             yield from self._charge_validation(raw)
             if outcome is not None:
+                validate_span.finish()
                 return outcome
+        validate_span.finish()
         # No SCAR copy validated. If the NIC-side scan followed a pointer
         # into a superseded (reshaped) window it returns the bucket only;
         # fall back to a client-side data fetch, which can converge to the
@@ -478,18 +574,24 @@ class CliqueMapClient:
             entry = entry_by_task.get(task)
             if entry is None:
                 continue
-            result = yield from self._fetch_data(view_by_task[task], entry)
+            data_span = span.child("data", attempt=attempt)
+            result = yield from self._fetch_data(view_by_task[task], entry,
+                                                 data_span)
+            data_span.finish()
             return self._validate_data(key, key_hash, result, decision,
                                        stale, task)
         raise _AttemptRetry("validation-torn-or-stale", stale_tasks=())
 
     def _attempt_serial(self, key: bytes, key_hash: bytes,
-                        views: List[BackendView]) -> Generator:
+                        views: List[BackendView], span=NULL_SPAN,
+                        attempt: int = 1) -> Generator:
         """R=1 / R=2-immutable: consult one replica, fall back on failure."""
         last_reason = "no-healthy-replicas"
         for view in views:
             overflow_seen = [False]
-            result = yield from self._fetch_index(view, key_hash)
+            index_span = span.child("index", attempt=attempt, task=view.task)
+            result = yield from self._fetch_index(view, key_hash, index_span)
+            index_span.finish()
             vote = self._vote_from(view, result, [], key_hash, overflow_seen)
             if isinstance(result, tuple) and result[0] == "config":
                 raise _AttemptRetry("config-mismatch", refresh_config=True)
@@ -498,8 +600,11 @@ class CliqueMapClient:
                 continue
             if vote.kind is VoteKind.ABSENT:
                 return (yield from self._maybe_overflow_lookup(
-                    key, {view.task: view}, overflow_seen[0]))
-            data_result = yield from self._fetch_data(view, vote.entry)
+                    key, {view.task: view}, overflow_seen[0], span, attempt))
+            data_span = span.child("data", attempt=attempt, task=view.task)
+            data_result = yield from self._fetch_data(view, vote.entry,
+                                                      data_span)
+            data_span.finish()
             decision = QuorumDecision(QuorumOutcome.PRESENT,
                                       version=vote.version,
                                       members=(view.task,), unanimous=True)
@@ -511,7 +616,8 @@ class CliqueMapClient:
                 continue
         raise _AttemptRetry(last_reason)
 
-    def _attempt_msg(self, key: bytes, key_hash: bytes) -> Generator:
+    def _attempt_msg(self, key: bytes, key_hash: bytes, span=NULL_SPAN,
+                     attempt: int = 1) -> Generator:
         """Two-sided messaging lookup through the software NIC (Fig 7).
 
         Cheaper than a full RPC, but wakes a server application thread —
@@ -523,14 +629,18 @@ class CliqueMapClient:
         for view in views:
             self.host.charge_inline(self.config.costs.issue_op_cpu,
                                     "cliquemap-client")
+            msg_span = span.child("msg", attempt=attempt, task=view.task)
             try:
                 reply = yield from self.transport.message(
                     self.host, view.host_name, "cliquemap-lookup",
-                    len(key) + 64, {"key": key})
+                    len(key) + 64, {"key": key}, trace=msg_span)
             except (RemoteHostDownError, RmaError, NetworkDropError):
+                msg_span.annotate(outcome="down").finish()
                 view.healthy = False
                 self._start_reconnect(view.task)
                 continue
+            finally:
+                msg_span.finish()
             self.host.charge_inline(self.config.costs.completion_cpu,
                                     "cliquemap-client")
             if not reply.get("found"):
@@ -541,19 +651,24 @@ class CliqueMapClient:
                     VersionNumber.unpack(reply["version"]))
         raise _AttemptRetry("replica-down")
 
-    def _attempt_rpc(self, key: bytes, key_hash: bytes,
-                     deadline_at: float) -> Generator:
+    def _attempt_rpc(self, key: bytes, key_hash: bytes, deadline_at: float,
+                     span=NULL_SPAN, attempt: int = 1) -> Generator:
         """Two-sided lookup via the RPC framework (WAN / fallback)."""
         views = self._replica_views(key_hash)
         if not views:
             raise _AttemptRetry("no-healthy-replicas")
         for view in views:
+            lookup_span = span.child("rpc-lookup", attempt=attempt,
+                                     task=view.task)
             try:
                 reply = yield from view.channel.call(
                     "Lookup", {"key": key},
-                    deadline=max(1e-6, deadline_at - self.sim.now))
+                    deadline=max(1e-6, deadline_at - self.sim.now),
+                    trace=lookup_span)
             except RpcError:
                 continue
+            finally:
+                lookup_span.finish()
             if not reply.get("found"):
                 return GetStatus.MISS, None, None
             version = VersionNumber.unpack(reply["version"])
@@ -567,19 +682,24 @@ class CliqueMapClient:
         bucket = int.from_bytes(key_hash[:8], "little") % view.num_buckets
         return bucket, bucket * view.bucket_bytes
 
-    def _fetch_index(self, view: BackendView, key_hash: bytes) -> Generator:
+    def _fetch_index(self, view: BackendView, key_hash: bytes,
+                     trace=NULL_SPAN) -> Generator:
         """RMA-read one bucket; returns a tagged outcome tuple (never raises)."""
         _bucket, offset = self._bucket_location(view, key_hash)
         self.host.charge_inline(self.config.costs.issue_op_cpu,
                                 "cliquemap-client")
+        op = trace.child("transport.read", task=view.task, kind="index")
         try:
             raw = yield from self.transport.read(
                 self.host, view.host_name, view.index_region_id, offset,
-                view.bucket_bytes)
+                view.bucket_bytes, trace=op)
         except RegionRevokedError:
+            op.annotate(outcome="stale").finish()
             return ("stale", view.task, None)
         except (RemoteHostDownError, RmaError, NetworkDropError):
+            op.annotate(outcome="down").finish()
             return ("down", view.task, None)
+        op.finish()
         self.host.charge_inline(self.config.costs.completion_cpu,
                                 "cliquemap-client")
         parsed = parse_bucket(raw, view.ways)
@@ -589,18 +709,23 @@ class CliqueMapClient:
             return ("config", view.task, parsed.config_id)
         return ("ok", view.task, parsed)
 
-    def _fetch_scar(self, view: BackendView, key_hash: bytes) -> Generator:
+    def _fetch_scar(self, view: BackendView, key_hash: bytes,
+                    trace=NULL_SPAN) -> Generator:
         _bucket, offset = self._bucket_location(view, key_hash)
         self.host.charge_inline(self.config.costs.issue_op_cpu,
                                 "cliquemap-client")
+        op = trace.child("transport.scar", task=view.task)
         try:
             bucket_raw, data_raw = yield from self.transport.scar(
                 self.host, view.host_name, view.index_region_id, offset,
-                view.bucket_bytes, key_hash)
+                view.bucket_bytes, key_hash, trace=op)
         except RegionRevokedError:
+            op.annotate(outcome="stale").finish()
             return ("stale", view.task, None)
         except (RemoteHostDownError, RmaError, NetworkDropError):
+            op.annotate(outcome="down").finish()
             return ("down", view.task, None)
+        op.finish()
         self.host.charge_inline(self.config.costs.completion_cpu,
                                 "cliquemap-client")
         parsed = parse_bucket(bucket_raw, view.ways)
@@ -610,30 +735,40 @@ class CliqueMapClient:
             return ("config", view.task, parsed.config_id)
         return ("ok", view.task, parsed, data_raw)
 
-    def _fetch_data(self, view: BackendView, entry) -> Generator:
+    def _fetch_data(self, view: BackendView, entry,
+                    trace=NULL_SPAN) -> Generator:
         self.host.charge_inline(self.config.costs.issue_op_cpu,
                                 "cliquemap-client")
+        op = trace.child("transport.read", task=view.task, kind="data")
         try:
-            raw = yield from self.transport.read(
-                self.host, view.host_name, entry.region_id, entry.offset,
-                entry.size)
-        except RegionRevokedError:
-            # The entry's window was superseded by a data-region reshape.
-            # Windows overlap the same virtually-contiguous pool (§4.1),
-            # so the offset is still valid through the currently-advertised
-            # window — converge to it, perhaps after a view refresh.
-            if view.data_region_id == entry.region_id:
-                return ("stale", view.task, None)
             try:
                 raw = yield from self.transport.read(
-                    self.host, view.host_name, view.data_region_id,
-                    entry.offset, entry.size)
+                    self.host, view.host_name, entry.region_id, entry.offset,
+                    entry.size, trace=op)
             except RegionRevokedError:
-                return ("stale", view.task, None)
+                # The entry's window was superseded by a data-region
+                # reshape. Windows overlap the same virtually-contiguous
+                # pool (§4.1), so the offset is still valid through the
+                # currently-advertised window — converge to it, perhaps
+                # after a view refresh.
+                if view.data_region_id == entry.region_id:
+                    op.annotate(outcome="stale")
+                    return ("stale", view.task, None)
+                try:
+                    raw = yield from self.transport.read(
+                        self.host, view.host_name, view.data_region_id,
+                        entry.offset, entry.size, trace=op)
+                except RegionRevokedError:
+                    op.annotate(outcome="stale")
+                    return ("stale", view.task, None)
+                except (RemoteHostDownError, RmaError, NetworkDropError):
+                    op.annotate(outcome="down")
+                    return ("down", view.task, None)
             except (RemoteHostDownError, RmaError, NetworkDropError):
+                op.annotate(outcome="down")
                 return ("down", view.task, None)
-        except (RemoteHostDownError, RmaError, NetworkDropError):
-            return ("down", view.task, None)
+        finally:
+            op.finish()
         self.host.charge_inline(self.config.costs.completion_cpu,
                                 "cliquemap-client")
         return ("ok", view.task, raw)
@@ -714,20 +849,26 @@ class CliqueMapClient:
 
     def _maybe_overflow_lookup(self, key: bytes,
                                view_by_task: Dict[str, BackendView],
-                               overflow_seen: bool) -> Generator:
+                               overflow_seen: bool, span=NULL_SPAN,
+                               attempt: int = 1) -> Generator:
         """On a miss under an overflowed bucket, optionally try RPC (§4.2)."""
         if self.config.overflow_rpc_lookup and overflow_seen:
             self.stats["overflow_lookups"] += 1
-            for view in view_by_task.values():
-                try:
-                    reply = yield from view.channel.call(
-                        "Lookup", {"key": key},
-                        deadline=self.config.mutation_rpc_deadline)
-                except RpcError:
-                    continue
-                if reply.get("found"):
-                    return (GetStatus.HIT, reply["value"],
-                            VersionNumber.unpack(reply["version"]))
+            overflow_span = span.child("overflow", attempt=attempt)
+            try:
+                for view in view_by_task.values():
+                    try:
+                        reply = yield from view.channel.call(
+                            "Lookup", {"key": key},
+                            deadline=self.config.mutation_rpc_deadline,
+                            trace=overflow_span)
+                    except RpcError:
+                        continue
+                    if reply.get("found"):
+                        return (GetStatus.HIT, reply["value"],
+                                VersionNumber.unpack(reply["version"]))
+            finally:
+                overflow_span.finish()
         return GetStatus.MISS, None, None
 
     # ------------------------------------------------------------------
@@ -774,6 +915,7 @@ class CliqueMapClient:
         self.stats["sets"] += 1
         started = self.sim.now
         deadline_at = started + (deadline or self.config.default_deadline)
+        root = self.tracer.start("set", client=self.client_id)
         value = yield from self._encode_value(value)
         payload_size = len(key) + len(value) + 64
         quorum = self.cell.mode.quorum
@@ -786,7 +928,8 @@ class CliqueMapClient:
             replies = yield from self._mutate_all(
                 "Set", {"key": key, "value": value,
                         "version": version.pack()},
-                self.placement.key_hash(key), payload_size)
+                self.placement.key_hash(key), payload_size,
+                root, _attempt + 1)
             applied = sum(1 for r in replies
                           if r is not None and r.get("applied"))
             superseded = sum(1 for r in replies if r is not None and
@@ -794,15 +937,28 @@ class CliqueMapClient:
                              r.get("reason") == "superseded")
             latency = self.sim.now - started
             if applied >= quorum:
+                root.finish()
                 return MutationResult(SetStatus.APPLIED, version=version,
                                       replicas_applied=applied,
-                                      latency=latency)
+                                      latency=latency,
+                                      attempts=_attempt + 1,
+                                      trace=self._finish_op(
+                                          "set", "applied", latency, root))
             if superseded >= quorum:
+                root.finish()
                 return MutationResult(SetStatus.SUPERSEDED, version=version,
                                       replicas_applied=applied,
-                                      latency=latency)
+                                      latency=latency,
+                                      attempts=_attempt + 1,
+                                      trace=self._finish_op(
+                                          "set", "superseded", latency,
+                                          root))
+            self._m_retries.labels(op="set", reason="inquorate").inc()
             last = MutationResult(SetStatus.FAILED, version=version,
-                                  replicas_applied=applied, latency=latency)
+                                  replicas_applied=applied, latency=latency,
+                                  attempts=_attempt + 1)
+        root.finish()
+        last.trace = self._finish_op("set", "failed", last.latency, root)
         return last
 
     def set_multi(self, items: List[Tuple[bytes, bytes]],
@@ -819,6 +975,7 @@ class CliqueMapClient:
         self.stats["erases"] += 1
         started = self.sim.now
         deadline_at = started + (deadline or self.config.default_deadline)
+        root = self.tracer.start("erase", client=self.client_id)
         quorum = self.cell.mode.quorum
         last = MutationResult(SetStatus.FAILED)
 
@@ -828,21 +985,35 @@ class CliqueMapClient:
             version = self.versions.next()
             replies = yield from self._mutate_all(
                 "Erase", {"key": key, "version": version.pack()},
-                self.placement.key_hash(key), len(key) + 64)
+                self.placement.key_hash(key), len(key) + 64,
+                root, _attempt + 1)
             applied = sum(1 for r in replies
                           if r is not None and r.get("applied"))
             superseded = sum(1 for r in replies if r is not None and
                              not r.get("applied"))
             latency = self.sim.now - started
             if applied >= quorum:
+                root.finish()
                 return MutationResult(SetStatus.APPLIED, version=version,
                                       replicas_applied=applied,
-                                      latency=latency)
+                                      latency=latency,
+                                      attempts=_attempt + 1,
+                                      trace=self._finish_op(
+                                          "erase", "applied", latency, root))
             if superseded >= quorum:
+                root.finish()
                 return MutationResult(SetStatus.SUPERSEDED, version=version,
-                                      latency=latency)
+                                      latency=latency,
+                                      attempts=_attempt + 1,
+                                      trace=self._finish_op(
+                                          "erase", "superseded", latency,
+                                          root))
+            self._m_retries.labels(op="erase", reason="inquorate").inc()
             last = MutationResult(SetStatus.FAILED, version=version,
-                                  replicas_applied=applied, latency=latency)
+                                  replicas_applied=applied, latency=latency,
+                                  attempts=_attempt + 1)
+        root.finish()
+        last.trace = self._finish_op("erase", "failed", last.latency, root)
         return last
 
     def cas(self, key: bytes, value: bytes, expected: VersionNumber,
@@ -850,15 +1021,17 @@ class CliqueMapClient:
         """Compare-and-set: install only if the stored version matches."""
         self.stats["cas"] += 1
         started = self.sim.now
+        root = self.tracer.start("cas", client=self.client_id)
         value = yield from self._encode_value(value)
         version = self.versions.next()
         replies = yield from self._mutate_all(
             "Cas", {"key": key, "value": value, "new_version": version.pack(),
                     "expected_version": expected.pack()},
-            self.placement.key_hash(key), len(key) + len(value) + 96)
+            self.placement.key_hash(key), len(key) + len(value) + 96, root)
         applied = sum(1 for r in replies
                       if r is not None and r.get("applied"))
         latency = self.sim.now - started
+        root.finish()
         stored = None
         for reply in replies:
             if reply is not None and "stored_version" in reply:
@@ -867,10 +1040,14 @@ class CliqueMapClient:
                                                               candidate)
         if applied >= self.cell.mode.quorum:
             return MutationResult(SetStatus.APPLIED, version=version,
-                                  replicas_applied=applied, latency=latency)
+                                  replicas_applied=applied, latency=latency,
+                                  trace=self._finish_op("cas", "applied",
+                                                        latency, root))
         return MutationResult(SetStatus.FAILED, version=version,
                               replicas_applied=applied, latency=latency,
-                              stored_version=stored)
+                              stored_version=stored,
+                              trace=self._finish_op("cas", "failed", latency,
+                                                    root))
 
     def append(self, key: bytes, suffix: bytes,
                deadline: Optional[float] = None) -> Generator:
@@ -908,20 +1085,22 @@ class CliqueMapClient:
                               latency=self.sim.now - started)
 
     def _mutate_all(self, method: str, payload: dict, key_hash: bytes,
-                    payload_size: int) -> Generator:
+                    payload_size: int, span=NULL_SPAN,
+                    attempt: int = 1) -> Generator:
         """Issue one mutation RPC to every replica; None for failures."""
         yield from self.host.execute(self.config.costs.mutation_cpu,
                                      "cliquemap-client")
         views = self._replica_views(key_hash)
         if not views:
             return []
+        fanout_span = span.child("mutate", attempt=attempt, method=method)
 
         def one(view: BackendView):
             try:
                 reply = yield from view.channel.call(
                     method, payload,
                     deadline=self.config.mutation_rpc_deadline,
-                    request_size=payload_size)
+                    request_size=payload_size, trace=fanout_span)
                 return reply
             except PermissionDeniedError:
                 return None  # unauthorized: not retryable
@@ -935,6 +1114,7 @@ class CliqueMapClient:
 
         procs = [self.sim.process(one(view)) for view in views]
         replies = yield self.sim.all_of(procs)
+        fanout_span.finish()
         return replies
 
     # ------------------------------------------------------------------
@@ -942,32 +1122,73 @@ class CliqueMapClient:
     # ------------------------------------------------------------------
 
     def _note_touch(self, key_hash: bytes) -> None:
-        if not self.config.touch_enabled:
+        if not self.config.touch_enabled or self._closed:
             return
         for shard in self.placement.shards_for(key_hash):
             task = self.cell.task_for_shard(shard)
             self._pending_touches.setdefault(task, []).append(key_hash)
+        self._update_touch_gauge()
         if not self._touch_flusher_started:
             self._touch_flusher_started = True
             proc = self.sim.process(self._touch_flusher(),
                                     name=f"touch-flush:{self.client_id}")
             proc.defused = True
 
+    def _update_touch_gauge(self) -> None:
+        self._m_touch_pending.labels(client=self.client_id).set(
+            sum(len(v) for v in self._pending_touches.values()))
+
     def _touch_flusher(self) -> Generator:
         """Background batch reporting of accesses, amortizing RPC cost."""
-        while True:
+        while not self._closed:
             yield self.sim.timeout(self.config.touch_flush_interval)
-            pending, self._pending_touches = self._pending_touches, {}
-            for task, hashes in pending.items():
-                view = self._views.get(task)
-                if view is None or not view.healthy:
-                    continue
-                for i in range(0, len(hashes), self.config.touch_batch_max):
-                    batch = hashes[i:i + self.config.touch_batch_max]
-                    try:
-                        yield from view.channel.call(
-                            "Touch", {"key_hashes": batch},
-                            deadline=self.config.mutation_rpc_deadline,
-                            request_size=16 * len(batch) + 32)
-                    except RpcError:
-                        break
+            yield from self._flush_touches_once()
+
+    def _flush_touches_once(self) -> Generator:
+        """Report every buffered touch batch now (one sweep)."""
+        pending, self._pending_touches = self._pending_touches, {}
+        self._update_touch_gauge()
+        for task, hashes in pending.items():
+            view = self._views.get(task)
+            if view is None or not view.healthy:
+                continue
+            for i in range(0, len(hashes), self.config.touch_batch_max):
+                batch = hashes[i:i + self.config.touch_batch_max]
+                try:
+                    yield from view.channel.call(
+                        "Touch", {"key_hashes": batch},
+                        deadline=self.config.mutation_rpc_deadline,
+                        request_size=16 * len(batch) + 32)
+                except RpcError:
+                    break
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Flush buffered touches and release this client's telemetry.
+
+        Safe to call repeatedly. When the simulator is idle (the usual
+        case: test/benchmark code closing a client between ``sim.run``
+        calls) the final Touch flush is driven to completion inside the
+        simulation; when called from within a running simulation the
+        flusher process performs the sweep instead.
+        """
+        if self._closed:
+            return
+        if any(self._pending_touches.values()) and \
+                not getattr(self.sim, "_running", False):
+            self.sim.run(until=self.sim.process(self._flush_touches_once()))
+        self._closed = True
+        self._m_touch_pending.remove(client=self.client_id)
+
+    def __enter__(self) -> "CliqueMapClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional
 
 from ..sim import Simulator
+from .errors import CliqueMapError
 
 
 class ReplicationMode(enum.Enum):
@@ -38,13 +39,43 @@ class ReplicationMode(enum.Enum):
                 ReplicationMode.R3_2: 2}[self]
 
 
-class LookupStrategy(enum.Enum):
-    """How GETs are performed (§3, §6.3)."""
+class GetStrategy(enum.Enum):
+    """How GETs are performed (§3, §6.3).
+
+    Part of the public API: :func:`repro.core.Cell.make_client` and
+    :class:`CliqueMapClient` accept either a member or its string value
+    (``"2xr"``, ``"scar"``, ``"msg"``, ``"rpc"``) and validate it via
+    :meth:`coerce`.
+    """
 
     TWO_R = "2xr"     # two RMA reads in sequence
     SCAR = "scar"     # single round trip via the software NIC
     MSG = "msg"       # two-sided messaging through the software NIC (Fig 7)
     RPC = "rpc"       # two-sided lookup over the full RPC stack (WAN)
+
+    @classmethod
+    def coerce(cls, value) -> "GetStrategy":
+        """Normalize a strategy given as an enum member or string value.
+
+        Raises :class:`~repro.core.errors.CliqueMapError` for anything
+        else, so a typo'd strategy name fails at client construction
+        rather than deep inside the GET path.
+        """
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls(value.lower())
+            except ValueError:
+                pass
+        valid = ", ".join(repr(m.value) for m in cls)
+        raise CliqueMapError(
+            f"unknown GET strategy {value!r}; expected one of {valid} "
+            f"or a GetStrategy member")
+
+
+#: Backwards-compatible alias; ``GetStrategy`` is the public name.
+LookupStrategy = GetStrategy
 
 
 @dataclass

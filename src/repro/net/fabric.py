@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, Optional
 
 from ..sim import Process, RandomStream, Simulator
+from ..telemetry import NULL_SPAN
 from .host import Host, HostConfig
 from .nic import MtuConfig, Nic, gbps
 
@@ -84,29 +85,43 @@ class Fabric:
     # -- delivery -------------------------------------------------------------
 
     def deliver(self, src: Host, dst: Host, payload_bytes: int,
-                priority: int = 0) -> Generator:
+                priority: int = 0, trace=None) -> Generator:
         """Move ``payload_bytes`` from ``src`` to ``dst`` (a generator).
 
         Completes when the last byte has been received. Loopback delivery
-        (src is dst) skips the NIC entirely.
+        (src is dst) skips the NIC entirely. When ``trace`` (a telemetry
+        span) is given, the delivery decomposes into egress-queueing,
+        propagation, and ingress-queueing child spans.
         """
-        if src is dst:
-            yield self.sim.timeout(1e-7)
-            return
-        if self.is_partitioned(src, dst):
-            # Packets vanish; the sender learns via (re)transmit timeout.
-            yield self.sim.timeout(self.config.partition_detect_delay)
-            raise NetworkDropError(src.name, dst.name)
-        wire = self.config.mtu.wire_bytes(payload_bytes)
-        yield from src.nic.egress.transmit(wire, priority)
-        same_zone = getattr(src, "zone", "local") == \
-            getattr(dst, "zone", "local")
-        delay = self.config.one_way_delay if same_zone \
-            else self.config.inter_zone_delay
-        if self.config.delay_jitter:
-            delay += self._rand.uniform(0.0, self.config.delay_jitter)
-        yield self.sim.timeout(delay)
-        yield from dst.nic.ingress.transmit(wire, priority)
+        span = (trace or NULL_SPAN).child("fabric.deliver", src=src.name,
+                                          dst=dst.name, bytes=payload_bytes)
+        try:
+            if src is dst:
+                yield self.sim.timeout(1e-7)
+                return
+            if self.is_partitioned(src, dst):
+                # Packets vanish; the sender learns via (re)transmit timeout.
+                span.annotate(dropped=True)
+                yield self.sim.timeout(self.config.partition_detect_delay)
+                raise NetworkDropError(src.name, dst.name)
+            wire = self.config.mtu.wire_bytes(payload_bytes)
+            egress = span.child("egress")
+            yield from src.nic.egress.transmit(wire, priority)
+            egress.finish()
+            same_zone = getattr(src, "zone", "local") == \
+                getattr(dst, "zone", "local")
+            delay = self.config.one_way_delay if same_zone \
+                else self.config.inter_zone_delay
+            if self.config.delay_jitter:
+                delay += self._rand.uniform(0.0, self.config.delay_jitter)
+            propagate = span.child("propagate")
+            yield self.sim.timeout(delay)
+            propagate.finish()
+            ingress = span.child("ingress")
+            yield from dst.nic.ingress.transmit(wire, priority)
+            ingress.finish()
+        finally:
+            span.finish()
 
     # -- partitions -----------------------------------------------------------
 

@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, Generator, Optional
 
 from ..net import Fabric, Host, HostDownError, NetworkDropError
 from ..sim import Simulator
+from ..telemetry import NULL_SPAN
 from .auth import Acl, AuthConfig, Authenticator, PermissionDeniedError, Principal
 from .wire import Message, ProtocolVersion
 
@@ -118,13 +119,16 @@ class HandlerContext:
     """What a handler sees about the call it is serving."""
 
     def __init__(self, server: "RpcServer", principal: Principal,
-                 metadata: Dict[str, Any], version: ProtocolVersion):
+                 metadata: Dict[str, Any], version: ProtocolVersion,
+                 span=NULL_SPAN):
         self.server = server
         self.sim = server.sim
         self.host = server.host
         self.principal = principal
         self.metadata = metadata
         self.version = version
+        # The server-side telemetry span; handlers may attach children.
+        self.span = span
         # Handlers set this to model large replies whose bytes aren't held.
         self.response_size_override: Optional[int] = None
 
@@ -217,40 +221,51 @@ class RpcChannel:
     def call(self, method: str, payload: Dict[str, Any],
              deadline: Optional[float] = None,
              metadata: Optional[Dict[str, Any]] = None,
-             request_size: Optional[int] = None) -> Generator:
+             request_size: Optional[int] = None,
+             trace=None) -> Generator:
         """Issue an RPC; returns the response payload or raises RpcError.
 
         ``request_size`` overrides the estimated payload size for requests
         whose bulk bytes are modeled rather than held (e.g. value blobs).
+        ``trace`` (a telemetry span) receives an ``rpc.call`` child span
+        covering the whole call, including the deadline-expiry path.
         """
+        span = (trace or NULL_SPAN).child("rpc.call", method=method,
+                                          server=self.server.name)
         inner = self.sim.process(
-            self._call_inner(method, payload, metadata or {}, request_size),
+            self._call_inner(method, payload, metadata or {}, request_size,
+                             span),
             name=f"rpc:{method}")
-        if deadline is None:
+        try:
+            if deadline is None:
+                try:
+                    result = yield inner
+                except RpcError:
+                    raise
+                except (HostDownError, NetworkDropError) as exc:
+                    raise UnavailableError(str(exc)) from exc
+                return result
+
+            timer = self.sim.timeout(deadline)
             try:
-                result = yield inner
-            except RpcError:
-                raise
+                event, value = yield self.sim.any_of([inner, timer])
             except (HostDownError, NetworkDropError) as exc:
                 raise UnavailableError(str(exc)) from exc
-            return result
-
-        timer = self.sim.timeout(deadline)
-        try:
-            event, value = yield self.sim.any_of([inner, timer])
-        except (HostDownError, NetworkDropError) as exc:
-            raise UnavailableError(str(exc)) from exc
-        if event is inner:
-            return value
-        inner.defused = True
-        raise DeadlineExceededError(
-            f"{method} exceeded deadline of {deadline * 1e3:.2f} ms")
+            if event is inner:
+                return value
+            inner.defused = True
+            span.annotate(deadline_exceeded=True)
+            raise DeadlineExceededError(
+                f"{method} exceeded deadline of {deadline * 1e3:.2f} ms")
+        finally:
+            span.finish()
 
     # -- internals -----------------------------------------------------------
 
     def _call_inner(self, method: str, payload: Dict[str, Any],
                     metadata: Dict[str, Any],
-                    request_size: Optional[int]) -> Generator:
+                    request_size: Optional[int],
+                    span=NULL_SPAN) -> Generator:
         if not self._connected:
             yield from self.connect()
 
@@ -266,12 +281,12 @@ class RpcChannel:
             raise UnavailableError(str(exc)) from exc
 
         yield from self.fabric.deliver(self.client_host, self.server.host,
-                                       req_bytes)
+                                       req_bytes, trace=span)
 
         ok = False
         resp_bytes = 0
         try:
-            response = yield from self._serve(request)
+            response = yield from self._serve(request, span)
             resp_bytes = response.wire_size
             ok = True
         finally:
@@ -279,7 +294,7 @@ class RpcChannel:
             self.server.metrics.record(req_bytes, resp_bytes, ok)
 
         yield from self.fabric.deliver(self.server.host, self.client_host,
-                                       resp_bytes)
+                                       resp_bytes, trace=span)
         yield from self.client_host.execute(
             self.cost_for_client(0, resp_bytes), self.client_component)
         return response.payload
@@ -290,7 +305,7 @@ class RpcChannel:
                (model.client_recv_cpu if resp_bytes else 0.0)
         return half + (req_bytes + resp_bytes) / 1024.0 * model.per_kilobyte_cpu
 
-    def _serve(self, request: Message) -> Generator:
+    def _serve(self, request: Message, span=NULL_SPAN) -> Generator:
         server = self.server
         if not server.serving:
             # A connection reset: a short wait, then failure back to client.
@@ -304,29 +319,36 @@ class RpcChannel:
         server.acl.check(self.principal, request.method)
         handler = server.handler_for(request.method)
 
+        serve_span = span.child("backend.serve", host=server.host.name,
+                                method=request.method)
         component = f"rpc-server:{server.name}"
         model = server.cost_model
-        yield from server.host.execute(
-            model.server_recv_cpu +
-            request.wire_size / 1024.0 * model.per_kilobyte_cpu, component)
-
-        context = HandlerContext(server, self.principal, request.metadata,
-                                 request.version)
         try:
-            result = yield from handler(request.payload, context)
-        except RpcError:
-            raise
-        except HostDownError as exc:
-            raise UnavailableError(str(exc)) from exc
-        except Exception as exc:  # noqa: BLE001 - application failure
-            raise ApplicationError(exc) from exc
+            yield from server.host.execute(
+                model.server_recv_cpu +
+                request.wire_size / 1024.0 * model.per_kilobyte_cpu,
+                component)
 
-        response = Message(method=request.method, payload=result or {},
-                           version=self.version,
-                           size_override=context.response_size_override)
-        yield from server.host.execute(
-            model.server_send_cpu +
-            response.wire_size / 1024.0 * model.per_kilobyte_cpu, component)
+            context = HandlerContext(server, self.principal, request.metadata,
+                                     request.version, span=serve_span)
+            try:
+                result = yield from handler(request.payload, context)
+            except RpcError:
+                raise
+            except HostDownError as exc:
+                raise UnavailableError(str(exc)) from exc
+            except Exception as exc:  # noqa: BLE001 - application failure
+                raise ApplicationError(exc) from exc
+
+            response = Message(method=request.method, payload=result or {},
+                               version=self.version,
+                               size_override=context.response_size_override)
+            yield from server.host.execute(
+                model.server_send_cpu +
+                response.wire_size / 1024.0 * model.per_kilobyte_cpu,
+                component)
+        finally:
+            serve_span.finish()
         return response
 
 

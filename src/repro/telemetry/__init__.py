@@ -1,0 +1,18 @@
+"""End-to-end telemetry: metrics registry + span-based tracing.
+
+The observability layer the paper's whole evaluation rests on: a
+:class:`MetricsRegistry` of labeled counters/gauges/histograms, and a
+:class:`Span` tracer that decomposes every CliqueMap operation into
+client → transport → fabric → backend intervals of simulated time.
+See :mod:`repro.telemetry.metrics` and :mod:`repro.telemetry.trace`.
+"""
+
+from .metrics import (Counter, Gauge, Histogram, MetricFamily,
+                      MetricsRegistry, default_registry)
+from .trace import NULL_SPAN, Span, TraceContext, Tracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricFamily", "MetricsRegistry",
+    "default_registry",
+    "NULL_SPAN", "Span", "TraceContext", "Tracer",
+]

@@ -1,0 +1,297 @@
+"""A process-wide metrics registry: counters, gauges, histograms.
+
+Modeled on production monitoring systems (Monarch/Prometheus shape): a
+:class:`MetricsRegistry` holds named *families*, each family holds
+labeled *series*, and a point-in-time :meth:`MetricsRegistry.snapshot`
+is what dashboards, benchmarks, and the ``repro.tools metrics`` CLI
+consume. The paper's figures are all reads of exactly this kind of
+surface — latency percentiles, op counts, CPU per op — collected from
+production monitoring.
+
+Histograms retain raw samples (laptop-scale corpora make this cheap) so
+their percentiles agree *exactly* with :func:`repro.sim.percentile` and
+the ``analysis.stats`` recorders they replace.
+
+Label cardinality is capped per family: once ``max_series`` distinct
+label combinations exist, further combinations collapse into a single
+overflow series (labeled ``overflow="true"``) instead of growing without
+bound — the standard production defense against label explosions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..sim import percentile
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+OVERFLOW_LABEL = "overflow"
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    kind = "counter"
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: Dict[str, str]):
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge")
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    kind = "gauge"
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: Dict[str, str]):
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """Distribution of observed values; retains raw samples.
+
+    ``percentile`` uses the same nearest-rank definition as
+    :func:`repro.sim.percentile`, so registry histograms and the
+    ``analysis.stats`` recorders report identical numbers for identical
+    samples. Empty histograms report ``nan`` rather than raising.
+    """
+
+    kind = "histogram"
+    __slots__ = ("labels", "_samples", "_sorted")
+
+    def __init__(self, labels: Dict[str, str]):
+        self.labels = labels
+        self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+
+    def observe(self, value: float) -> None:
+        self._samples.append(value)
+        self._sorted = None
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def sum(self) -> float:
+        return math.fsum(self._samples)
+
+    @property
+    def values(self) -> Tuple[float, ...]:
+        """All samples in observation order (for delta-based readers)."""
+        return tuple(self._samples)
+
+    def percentile(self, p: float, start: int = 0) -> float:
+        """Nearest-rank percentile; ``start`` skips earlier samples so
+        callers can measure deltas between checkpoints. ``nan`` if the
+        window is empty."""
+        if start:
+            window = sorted(self._samples[start:])
+        else:
+            if self._sorted is None:
+                self._sorted = sorted(self._samples)
+            window = self._sorted
+        if not window:
+            return math.nan
+        return percentile(window, p)
+
+    def mean(self) -> float:
+        if not self._samples:
+            return math.nan
+        return math.fsum(self._samples) / len(self._samples)
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self._sorted = None
+
+    def snapshot(self) -> Dict[str, Any]:
+        out = {"labels": dict(self.labels), "count": self.count,
+               "sum": self.sum, "mean": self.mean()}
+        for p in (50.0, 90.0, 99.0, 99.9):
+            out[f"p{p:g}"] = self.percentile(p)
+        return out
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """All series of one named metric (one kind, many label combos)."""
+
+    def __init__(self, name: str, kind: str, help: str = "",
+                 max_series: int = 256):
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.max_series = max_series
+        self._series: Dict[LabelKey, Any] = {}
+        # Label combinations collapsed into the overflow series.
+        self.dropped_series = 0
+
+    def labels(self, **labels: Any):
+        """The series for one label combination (created on first use).
+
+        Beyond ``max_series`` distinct combinations, new combinations
+        share a single overflow series instead of growing the family.
+        """
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is not None:
+            return series
+        if len(self._series) >= self.max_series:
+            self.dropped_series += 1
+            return self._overflow_series()
+        series = _KINDS[self.kind]({str(k): str(v)
+                                    for k, v in sorted(labels.items())})
+        self._series[key] = series
+        return series
+
+    def _overflow_series(self):
+        key = _label_key({OVERFLOW_LABEL: "true"})
+        series = self._series.get(key)
+        if series is None:
+            series = _KINDS[self.kind]({OVERFLOW_LABEL: "true"})
+            self._series[key] = series
+        return series
+
+    def remove(self, **labels: Any) -> bool:
+        """Deregister one series; True if it existed."""
+        return self._series.pop(_label_key(labels), None) is not None
+
+    @property
+    def series_count(self) -> int:
+        return len(self._series)
+
+    def series(self) -> List[Any]:
+        return list(self._series.values())
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "help": self.help,
+                "series": [s.snapshot() for s in self._series.values()]}
+
+
+class MetricsRegistry:
+    """Named metric families plus snapshot/aggregation readbacks.
+
+    One registry normally spans one :class:`~repro.core.cell.Cell` (its
+    clients and backends all record here); a module-level default exists
+    for ad-hoc use. Families are created on first use and are kind-checked
+    on re-registration.
+    """
+
+    def __init__(self, max_series_per_metric: int = 256):
+        self.max_series_per_metric = max_series_per_metric
+        self._families: Dict[str, MetricFamily] = {}
+
+    # -- registration --------------------------------------------------------
+
+    def _family(self, name: str, kind: str, help: str) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            family = MetricFamily(name, kind, help,
+                                  max_series=self.max_series_per_metric)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, "
+                f"not {kind}")
+        return family
+
+    def counter(self, name: str, help: str = "") -> MetricFamily:
+        return self._family(name, "counter", help)
+
+    def gauge(self, name: str, help: str = "") -> MetricFamily:
+        return self._family(name, "gauge", help)
+
+    def histogram(self, name: str, help: str = "") -> MetricFamily:
+        return self._family(name, "histogram", help)
+
+    def unregister(self, name: str) -> bool:
+        """Drop a whole family; True if it existed."""
+        return self._families.pop(name, None) is not None
+
+    def family(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def families(self) -> List[str]:
+        return sorted(self._families)
+
+    # -- readbacks -----------------------------------------------------------
+
+    def _matching(self, name: str, labels: Dict[str, Any]) -> Iterable[Any]:
+        family = self._families.get(name)
+        if family is None:
+            return []
+        want = {str(k): str(v) for k, v in labels.items()}
+        return [s for s in family.series()
+                if all(s.labels.get(k) == v for k, v in want.items())]
+
+    def value(self, name: str, **labels: Any) -> float:
+        """Exact-series value (counters/gauges); ``nan`` if absent."""
+        family = self._families.get(name)
+        if family is None:
+            return math.nan
+        series = family._series.get(_label_key(labels))
+        return series.value if series is not None else math.nan
+
+    def total(self, name: str, **labels: Any) -> float:
+        """Sum of counter/gauge values over series matching the label
+        subset (histograms contribute their observation count)."""
+        total = 0.0
+        for series in self._matching(name, labels):
+            total += series.count if series.kind == "histogram" \
+                else series.value
+        return total
+
+    def histogram_series(self, name: str, **labels: Any) -> List[Histogram]:
+        """All histogram series matching the label subset."""
+        return [s for s in self._matching(name, labels)
+                if s.kind == "histogram"]
+
+    def merged_samples(self, name: str, **labels: Any) -> List[float]:
+        """Concatenated raw samples across matching histogram series."""
+        out: List[float] = []
+        for series in self.histogram_series(name, **labels):
+            out.extend(series.values)
+        return out
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Point-in-time view of every family: the export surface."""
+        return {name: family.snapshot()
+                for name, family in sorted(self._families.items())}
+
+
+_default_registry = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The module-level registry (for ad-hoc/standalone instrumentation)."""
+    return _default_registry

@@ -1,0 +1,234 @@
+"""Span-based tracing over simulated time.
+
+The paper's evaluation decomposes every operation into its constituent
+costs — index fetch, data fetch, validation, quorum, retries — and plots
+where the time and CPU went (Figs 7–20). This module provides the
+substrate for that decomposition: a :class:`Span` tree records intervals
+of *simulated* time, and a :class:`TraceContext` is threaded from
+``CliqueMapClient`` through the transport, the fabric, the RPC framework
+and into the backend, so a finished operation carries a complete
+client → transport → fabric → backend breakdown in its result.
+
+Design notes:
+
+* Spans read the clock through a callable (normally ``lambda: sim.now``),
+  so the same types work against wall-clock time in other harnesses.
+* Tracing composes with untraced call sites: every ``trace=`` parameter
+  in the stack defaults to ``None``, and :data:`NULL_SPAN` is a sink
+  whose children are itself — so instrumented code never branches on
+  "is tracing on?".
+* The client's top-level *phase* spans (``index`` / ``data`` /
+  ``validate`` on the GET path) are contiguous by construction: each
+  starts at the simulated instant the previous one finished, so their
+  durations sum exactly to the operation latency.
+* Speculative work (e.g. the first-responder data fetch that 2xR GETs
+  launch before the quorum settles) is recorded under the phase that
+  *initiated* it, so a speculative child may begin before the phase it
+  logically belongs to — that is the speculation, made visible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+
+class Span:
+    """One named interval of simulated time, with labels and children."""
+
+    __slots__ = ("name", "labels", "start", "end", "children", "_clock")
+
+    def __init__(self, name: str, clock: Callable[[], float],
+                 labels: Optional[Dict[str, Any]] = None,
+                 start: Optional[float] = None):
+        self.name = name
+        self._clock = clock
+        self.labels: Dict[str, Any] = dict(labels) if labels else {}
+        self.start = clock() if start is None else start
+        self.end: Optional[float] = None
+        self.children: List["Span"] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def child(self, name: str, **labels: Any) -> "Span":
+        """Open a child span starting now."""
+        span = Span(name, self._clock, labels)
+        self.children.append(span)
+        return span
+
+    def adopt(self, span: "Span") -> "Span":
+        """Attach an already-created span as a child (speculative work)."""
+        self.children.append(span)
+        return span
+
+    def finish(self, at: Optional[float] = None) -> "Span":
+        """Close the span (idempotent: the first finish wins)."""
+        if self.end is None:
+            self.end = self._clock() if at is None else at
+        return self
+
+    def annotate(self, **labels: Any) -> "Span":
+        self.labels.update(labels)
+        return self
+
+    # -- readbacks -----------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed simulated seconds (up to now for an unfinished span)."""
+        end = self.end if self.end is not None else self._clock()
+        return end - self.start
+
+    def walk(self, depth: int = 0) -> Iterator[Tuple[int, "Span"]]:
+        """Depth-first (depth, span) traversal including this span."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span named ``name`` in depth-first order (or None)."""
+        for _depth, span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def find_all(self, name: str) -> List["Span"]:
+        return [s for _d, s in self.walk() if s.name == name]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "labels": dict(self.labels),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def render(self) -> str:
+        """Indented plain-text tree with per-span durations in us."""
+        lines = []
+        for depth, span in self.walk():
+            labels = "".join(f" {k}={v}" for k, v in sorted(
+                span.labels.items()))
+            open_mark = "" if span.finished else " (open)"
+            lines.append(f"{'  ' * depth}{span.name:<{max(1, 24 - 2 * depth)}}"
+                         f" {span.duration * 1e6:9.2f}us{open_mark}{labels}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, duration={self.duration:.3e}, "
+                f"children={len(self.children)})")
+
+
+class _NullSpan:
+    """A no-op span: the sink used when tracing is disabled.
+
+    Its children are itself, so instrumented code can unconditionally
+    ``span.child(...)`` / ``span.finish()`` without branching.
+    """
+
+    __slots__ = ()
+
+    name = "null"
+    labels: Dict[str, Any] = {}
+    start = 0.0
+    end = 0.0
+    children: List[Span] = []
+    finished = True
+    duration = 0.0
+
+    def child(self, name: str, **labels: Any) -> "_NullSpan":
+        return self
+
+    def adopt(self, span):
+        return span
+
+    def finish(self, at: Optional[float] = None) -> "_NullSpan":
+        return self
+
+    def annotate(self, **labels: Any) -> "_NullSpan":
+        return self
+
+    def walk(self, depth: int = 0):
+        return iter(())
+
+    def find(self, name: str) -> None:
+        return None
+
+    def find_all(self, name: str) -> List[Span]:
+        return []
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {}
+
+    def render(self) -> str:
+        return "(tracing disabled)"
+
+    def __bool__(self) -> bool:
+        # Falsy, so ``trace or NULL_SPAN`` idioms and "did we trace?"
+        # checks both behave.
+        return False
+
+    def __repr__(self) -> str:
+        return "NULL_SPAN"
+
+
+NULL_SPAN = _NullSpan()
+
+
+class TraceContext:
+    """The tracing state threaded through one operation.
+
+    Thin by design: it carries the operation's root span plus the clock,
+    and is what public APIs accept as their ``trace=`` argument. Most
+    instrumented layers only ever see a :class:`Span`; the context exists
+    so callers can pass "trace this op into here" as one object.
+    """
+
+    __slots__ = ("root",)
+
+    def __init__(self, root: Span):
+        self.root = root
+
+    def child(self, name: str, **labels: Any) -> Span:
+        return self.root.child(name, **labels)
+
+    def finish(self, at: Optional[float] = None) -> Span:
+        return self.root.finish(at)
+
+    def render(self) -> str:
+        return self.root.render()
+
+
+class Tracer:
+    """Creates root spans and retains a bounded history of finished ops."""
+
+    def __init__(self, clock: Callable[[], float], enabled: bool = True,
+                 max_retained: int = 64):
+        self.clock = clock
+        self.enabled = enabled
+        self.max_retained = max_retained
+        self.finished: List[Span] = []
+        self.started = 0
+
+    def start(self, name: str, **labels: Any):
+        """Open a root span (or :data:`NULL_SPAN` when disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        self.started += 1
+        return Span(name, self.clock, labels)
+
+    def record(self, span) -> None:
+        """Retain a finished root span (bounded, oldest dropped)."""
+        if span is NULL_SPAN or span is None:
+            return
+        self.finished.append(span)
+        if len(self.finished) > self.max_retained:
+            del self.finished[:len(self.finished) - self.max_retained]
+
+    def last(self) -> Optional[Span]:
+        return self.finished[-1] if self.finished else None

@@ -8,6 +8,8 @@ Run with ``python -m repro.tools <command>``:
 * ``drill``        — planned + unplanned maintenance drills (Figs 13/14).
 * ``snapshot``     — run a short mixed workload and print the monitoring
   dashboard snapshot.
+* ``metrics``      — print the telemetry registry of a live cell
+  (``--demo`` runs a small workload first and renders an op trace).
 * ``model-check``  — explicit-state check of the R=3.2 protocol.
 """
 
@@ -120,6 +122,35 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from ..analysis import render_metrics
+    from ..core import Cell, CellSpec, ReplicationMode
+
+    cell = Cell(CellSpec(mode=ReplicationMode.R3_2, num_shards=args.shards,
+                         transport=args.transport))
+    with cell:
+        with cell.connect_client() as client:
+
+            def app():
+                for i in range(args.keys):
+                    yield from client.set(b"k-%d" % i, b"x" * 128)
+                for i in range(args.ops):
+                    # ~1/4 of GETs miss: exercise both status series.
+                    yield from client.get(
+                        b"k-%d" % (i % (args.keys + args.keys // 3 + 1)))
+
+            cell.sim.run(until=cell.sim.process(app()))
+        print(render_metrics(cell.metrics.snapshot(),
+                             title=f"cell {cell.spec.name!r}"))
+        if args.demo:
+            last = cell.tracer.last()
+            if last is not None:
+                print()
+                print(f"last op trace ({last.name}):")
+                print(last.render())
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from ..analysis import render_table
     from ..core import Cell, CellSpec, ReplicationMode
@@ -204,6 +235,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("snapshot", help="monitoring dashboard snapshot")
     p.add_argument("--shards", type=int, default=4)
     p.set_defaults(func=cmd_snapshot)
+
+    p = sub.add_parser("metrics",
+                       help="telemetry registry snapshot of a live cell")
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--transport", default="pony",
+                   choices=["pony", "1rma", "rdma"])
+    p.add_argument("--keys", type=int, default=60)
+    p.add_argument("--ops", type=int, default=240)
+    p.add_argument("--demo", action="store_true",
+                   help="also render the span tree of the last operation")
+    p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser("trace", help="synthesize/replay op traces")
     p.add_argument("--input", help="trace file to replay")

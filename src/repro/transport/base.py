@@ -84,8 +84,12 @@ class Transport:
         return endpoint
 
     def read(self, client_host: Host, server_name: str, region_id: int,
-             offset: int, size: int) -> Generator:
-        """One-sided read; subclasses implement the timing."""
+             offset: int, size: int, trace=None) -> Generator:
+        """One-sided read; subclasses implement the timing.
+
+        ``trace`` (an optional telemetry span) receives fabric/server
+        child spans so an op can be decomposed layer by layer.
+        """
         raise NotImplementedError
 
     def _resolve_or_fail(self, endpoint: RmaEndpoint, region_id: int):

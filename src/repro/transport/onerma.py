@@ -17,6 +17,7 @@ from typing import Generator, List, Tuple
 
 from ..net import Host
 from ..sim import Resource
+from ..telemetry import NULL_SPAN
 from .base import RMA_REQUEST_BYTES, RMA_RESPONSE_HEADER_BYTES, Transport
 
 
@@ -61,40 +62,48 @@ class OneRmaTransport(Transport):
         return window
 
     def read(self, client_host: Host, server_name: str, region_id: int,
-             offset: int, size: int) -> Generator:
+             offset: int, size: int, trace=None) -> Generator:
         """Perform a one-sided 1RMA read; returns the snapshot bytes."""
+        trace = trace or NULL_SPAN
+        tx = trace.child("nic.tx")
         yield from client_host.execute(self.cost.client_submit_cpu,
                                        "rma-client")
         window = self._window_for(client_host)
         slot = window.request()
         yield slot
+        tx.finish()
         try:
             return (yield from self._read_solicited(
-                client_host, server_name, region_id, offset, size))
+                client_host, server_name, region_id, offset, size, trace))
         finally:
             window.release(slot)
 
     def _read_solicited(self, client_host: Host, server_name: str,
                         region_id: int, offset: int,
-                        size: int) -> Generator:
+                        size: int, trace=NULL_SPAN) -> Generator:
         issued_at = self.sim.now  # NIC-side measurement starts here
         yield from self.fabric.deliver(client_host,
                                        self._remote_host(server_name),
-                                       RMA_REQUEST_BYTES)
+                                       RMA_REQUEST_BYTES, trace=trace)
         endpoint = yield from self._check_remote(server_name, client_host)
+        serve_span = trace.child("backend.serve", host=server_name)
         yield self.sim.timeout(self.cost.server_nic_latency)
         window = self._resolve_or_fail(endpoint, region_id)
         # PCIe read of the payload out of server memory.
         yield self.sim.timeout(self.cost.pcie_base_latency +
                                size / self.cost.pcie_bytes_per_sec)
         data = window.read(offset, size)  # the snapshot instant
+        serve_span.finish()
         yield from self.fabric.deliver(endpoint.host, client_host,
-                                       len(data) + RMA_RESPONSE_HEADER_BYTES)
+                                       len(data) + RMA_RESPONSE_HEADER_BYTES,
+                                       trace=trace)
         if self.record_timestamps:
             self.command_timestamps.append(
                 (self.sim.now, self.sim.now - issued_at))
+        rx = trace.child("nic.rx")
         yield from client_host.execute(self.cost.client_complete_cpu,
                                        "rma-client")
+        rx.finish()
         self.counters.reads += 1
         self.counters.bytes_fetched += len(data)
         return data

@@ -21,6 +21,7 @@ from typing import Dict, Generator, List, Optional, Tuple
 
 from ..net import Host
 from ..sim import Resource, Simulator
+from ..telemetry import NULL_SPAN
 from .base import (RMA_REQUEST_BYTES, RMA_RESPONSE_HEADER_BYTES, Transport)
 from .memory import RegionRevokedError, RmaOutOfBoundsError
 
@@ -153,22 +154,30 @@ class PonyTransport(Transport):
     # -- one-sided read ----------------------------------------------------
 
     def read(self, client_host: Host, server_name: str, region_id: int,
-             offset: int, size: int) -> Generator:
+             offset: int, size: int, trace=None) -> Generator:
         """One-sided read served by the remote Pony engines."""
+        trace = trace or NULL_SPAN
+        tx = trace.child("nic.tx")
         yield from self.engine_group(client_host).serve(self.cost.client_tx)
+        tx.finish()
         yield from self.fabric.deliver(client_host,
                                        self._remote_host(server_name),
-                                       RMA_REQUEST_BYTES)
+                                       RMA_REQUEST_BYTES, trace=trace)
         endpoint = yield from self._check_remote(server_name, client_host)
         server_group = self.engine_group(endpoint.host)
+        serve_span = trace.child("backend.serve", host=server_name)
         yield from server_group.serve(self.cost.server_read +
                                       self._payload_cost(size))
         window = self._resolve_or_fail(endpoint, region_id)
         data = window.read(offset, size)  # the snapshot instant
+        serve_span.finish()
         yield from self.fabric.deliver(endpoint.host, client_host,
-                                       len(data) + RMA_RESPONSE_HEADER_BYTES)
+                                       len(data) + RMA_RESPONSE_HEADER_BYTES,
+                                       trace=trace)
+        rx = trace.child("nic.rx")
         yield from self.engine_group(client_host).serve(
             self.cost.client_rx + self._payload_cost(len(data)))
+        rx.finish()
         self.counters.reads += 1
         self.counters.bytes_fetched += len(data)
         return data
@@ -177,22 +186,27 @@ class PonyTransport(Transport):
 
     def scar(self, client_host: Host, server_name: str,
              index_region_id: int, bucket_offset: int, bucket_size: int,
-             key_hash: bytes) -> Generator:
+             key_hash: bytes, trace=None) -> Generator:
         """Scan-and-Read: returns ``(bucket_bytes, data_bytes_or_None)``.
 
         The serving engine fetches the bucket, runs the installed scan
         program against ``key_hash``, and — on a hit — follows the pointer
         to the DataEntry, all within one network round trip.
         """
+        trace = trace or NULL_SPAN
+        tx = trace.child("nic.tx")
         yield from self.engine_group(client_host).serve(self.cost.client_tx)
+        tx.finish()
         yield from self.fabric.deliver(client_host,
                                        self._remote_host(server_name),
-                                       RMA_REQUEST_BYTES + len(key_hash))
+                                       RMA_REQUEST_BYTES + len(key_hash),
+                                       trace=trace)
         endpoint = yield from self._check_remote(server_name, client_host)
         if endpoint.scar_program is None:
             raise RegionRevokedError(index_region_id)
 
         server_group = self.engine_group(endpoint.host)
+        serve_span = trace.child("backend.serve", host=server_name, op="scar")
         yield from server_group.serve(self.cost.server_read +
                                       self.cost.scar_scan +
                                       self._payload_cost(bucket_size))
@@ -211,12 +225,16 @@ class PonyTransport(Transport):
                 # Pointer raced with a reshape/eviction; return just the
                 # bucket — the client validates and retries.
                 data = None
+        serve_span.finish()
 
         resp_bytes = (len(bucket) + (len(data) if data else 0) +
                       RMA_RESPONSE_HEADER_BYTES)
-        yield from self.fabric.deliver(endpoint.host, client_host, resp_bytes)
+        yield from self.fabric.deliver(endpoint.host, client_host, resp_bytes,
+                                       trace=trace)
+        rx = trace.child("nic.rx")
         yield from self.engine_group(client_host).serve(
             self.cost.client_rx + self._payload_cost(resp_bytes))
+        rx.finish()
         self.counters.scars += 1
         self.counters.bytes_fetched += resp_bytes
         return bucket, data
@@ -234,13 +252,16 @@ class PonyTransport(Transport):
         self._msg_handlers.setdefault(host.name, {})[name] = handler
 
     def message(self, client_host: Host, server_name: str, name: str,
-                request_bytes: int, request_payload) -> Generator:
+                request_bytes: int, request_payload, trace=None) -> Generator:
         """Send a two-sided message and await the application's reply."""
+        trace = trace or NULL_SPAN
+        tx = trace.child("nic.tx")
         yield from self.engine_group(client_host).serve(
             self.cost.client_tx + self._payload_cost(request_bytes))
+        tx.finish()
         yield from self.fabric.deliver(client_host,
                                        self._remote_host(server_name),
-                                       request_bytes)
+                                       request_bytes, trace=trace)
         endpoint = yield from self._check_remote(server_name, client_host)
         handlers = self._msg_handlers.get(server_name, {})
         if name not in handlers:
@@ -248,20 +269,26 @@ class PonyTransport(Transport):
 
         server_host = endpoint.host
         server_group = self.engine_group(server_host)
+        serve_span = trace.child("backend.serve", host=server_name, op="msg")
         yield from server_group.serve(self.cost.server_read +
                                       self._payload_cost(request_bytes))
         # Wake an application thread and run the handler on host CPU —
         # the expensive part two-sided designs pay (§6.3).
+        app_span = serve_span.child("app-thread")
         yield from server_host.execute(self.cost.msg_thread_wakeup +
                                        self.cost.msg_app_cpu, "msg-app")
         response_payload, response_bytes = handlers[name](request_payload)
+        app_span.finish()
         yield from server_group.serve(self.cost.client_tx +
                                       self._payload_cost(response_bytes))
+        serve_span.finish()
         yield from self.fabric.deliver(server_host, client_host,
                                        response_bytes +
-                                       RMA_RESPONSE_HEADER_BYTES)
+                                       RMA_RESPONSE_HEADER_BYTES, trace=trace)
+        rx = trace.child("nic.rx")
         yield from self.engine_group(client_host).serve(
             self.cost.client_rx + self._payload_cost(response_bytes))
+        rx.finish()
         self.counters.messages += 1
         return response_payload
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Generator
 
 from ..net import Host
+from ..telemetry import NULL_SPAN
 from .base import (RMA_REQUEST_BYTES, RMA_RESPONSE_HEADER_BYTES, Transport)
 
 
@@ -37,22 +38,30 @@ class RdmaTransport(Transport):
         self.cost = cost_model or RdmaCostModel()
 
     def read(self, client_host: Host, server_name: str, region_id: int,
-             offset: int, size: int) -> Generator:
+             offset: int, size: int, trace=None) -> Generator:
         """Perform a one-sided read; returns the snapshot bytes."""
+        trace = trace or NULL_SPAN
+        tx = trace.child("nic.tx")
         yield from client_host.execute(self.cost.client_post_cpu,
                                        "rma-client")
+        tx.finish()
         yield from self.fabric.deliver(client_host,
                                        self._remote_host(server_name),
-                                       RMA_REQUEST_BYTES)
+                                       RMA_REQUEST_BYTES, trace=trace)
         endpoint = yield from self._check_remote(server_name, client_host)
         # NIC processing + DMA at the server; no server CPU involved.
+        serve_span = trace.child("backend.serve", host=server_name)
         yield self.sim.timeout(self.cost.server_nic_latency)
         window = self._resolve_or_fail(endpoint, region_id)
         data = window.read(offset, size)  # the snapshot instant
+        serve_span.finish()
         yield from self.fabric.deliver(endpoint.host, client_host,
-                                       len(data) + RMA_RESPONSE_HEADER_BYTES)
+                                       len(data) + RMA_RESPONSE_HEADER_BYTES,
+                                       trace=trace)
+        rx = trace.child("nic.rx")
         yield from client_host.execute(self.cost.client_poll_cpu,
                                        "rma-client")
+        rx.finish()
         self.counters.reads += 1
         self.counters.bytes_fetched += len(data)
         return data

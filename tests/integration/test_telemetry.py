@@ -1,0 +1,111 @@
+"""End-to-end telemetry: traced operations decompose into the full
+client → transport → fabric → backend span tree over simulated time, and
+the cell registry records what the benchmarks read back."""
+
+import pytest
+
+from repro.core import Cell, CellSpec, GetStrategy, ReplicationMode
+from repro.telemetry import TraceContext
+
+
+def run_traced_get(transport):
+    cell = Cell(CellSpec(mode=ReplicationMode.R3_2, num_shards=4,
+                         transport=transport))
+    client = cell.connect_client(strategy=GetStrategy.TWO_R)
+
+    def app():
+        yield from client.set(b"k", b"v" * 64)
+        result = yield from client.get(b"k")
+        return result
+
+    result = cell.sim.run(until=cell.sim.process(app()))
+    return cell, result
+
+
+@pytest.mark.parametrize("transport", ["pony", "rdma", "1rma"])
+def test_2xr_get_phases_sum_to_latency(transport):
+    cell, result = run_traced_get(transport)
+    assert result.hit
+    trace = result.trace
+    assert isinstance(trace, TraceContext)
+    root = trace.root
+    assert root.name == "get" and root.finished
+    assert root.labels["status"] == "hit"
+
+    index, data, validate = (root.find("index"), root.find("data"),
+                             root.find("validate"))
+    # Phases are contiguous by construction: each starts the simulated
+    # instant the previous ends, so their durations sum to the op
+    # latency with no gap and no overlap.
+    assert index.start == root.start
+    assert index.end == data.start
+    assert data.end == validate.start
+    assert validate.end == root.end
+    total = index.duration + data.duration + validate.duration
+    assert total == pytest.approx(result.latency, rel=1e-9)
+    assert root.duration == result.latency
+
+
+@pytest.mark.parametrize("transport", ["pony", "rdma", "1rma"])
+def test_2xr_get_spans_reach_the_backend(transport):
+    _cell, result = run_traced_get(transport)
+    root = result.trace.root
+
+    # Quorum of R=3 index fetches under the index phase.
+    index_reads = [s for s in root.find("index").find_all("transport.read")
+                   if s.labels.get("kind") == "index"]
+    assert len(index_reads) == 3
+    # The speculative data fetch launched before the quorum settles is
+    # recorded under the index phase that initiated it.
+    assert any(s.labels.get("kind") == "data"
+               for s in root.find_all("transport.read"))
+
+    # Every read crosses the fabric (egress → propagate → ingress) and
+    # lands on a backend host.
+    deliver = root.find("fabric.deliver")
+    assert deliver is not None
+    assert [c.name for c in deliver.children] == ["egress", "propagate",
+                                                  "ingress"]
+    serve = root.find("backend.serve")
+    assert serve is not None
+    assert serve.labels["host"].startswith("host/backend-")
+    # All spans inside a finished op are themselves finished.
+    assert all(span.finished for _d, span in root.walk())
+
+
+def test_mutation_trace_reaches_backend_handlers():
+    cell = Cell(CellSpec(mode=ReplicationMode.R3_2, num_shards=4,
+                         transport="pony"))
+    client = cell.connect_client()
+
+    def app():
+        result = yield from client.set(b"k", b"v")
+        return result
+
+    result = cell.sim.run(until=cell.sim.process(app()))
+    root = result.trace.root
+    assert root.name == "set"
+    mutate = root.find("mutate")
+    assert mutate is not None
+    # R=3 fanout: one RPC per replica, each served by a backend handler.
+    calls = [s for s in mutate.find_all("rpc.call")
+             if s.labels.get("method") == "Set"]
+    assert len(calls) == 3
+    assert root.find("backend.serve") is not None
+    assert root.find("handler.set") is not None
+
+
+def test_registry_records_what_the_client_did():
+    cell, result = run_traced_get("pony")
+    assert cell.metrics.total("cliquemap_ops_total",
+                              op="get", status="hit") == 1.0
+    assert cell.metrics.total("cliquemap_ops_total",
+                              op="set", status="applied") == 1.0
+    samples = cell.metrics.merged_samples("cliquemap_op_latency_seconds",
+                                          op="get")
+    assert samples == [result.latency]
+    # Backend-side RPC counters saw the replicated SET.
+    assert cell.metrics.total("cliquemap_backend_rpcs_total",
+                              method="Set") == 3.0
+    # The tracer retains the finished root spans, newest last.
+    assert cell.tracer.last() is result.trace.root

@@ -10,7 +10,8 @@ def test_parser_lists_all_commands():
     sub = next(a for a in parser._actions
                if hasattr(a, "choices") and a.choices)
     assert set(sub.choices) == {"quickstart", "ads", "geo", "drill",
-                                "snapshot", "model-check", "trace"}
+                                "snapshot", "metrics", "model-check",
+                                "trace"}
 
 
 def test_quickstart_command(capsys):
@@ -32,6 +33,16 @@ def test_snapshot_command(capsys):
     out = capsys.readouterr().out
     assert "backend-0" in out
     assert "cell snapshot" in out
+
+
+def test_metrics_command(capsys):
+    assert main(["metrics", "--shards", "3", "--keys", "20",
+                 "--ops", "60", "--demo"]) == 0
+    out = capsys.readouterr().out
+    assert "cliquemap_ops_total" in out
+    assert "cliquemap_op_latency_seconds" in out
+    assert "last op trace" in out
+    assert "fabric.deliver" in out
 
 
 def test_drill_planned(capsys):

@@ -21,7 +21,7 @@ def test_core_exports():
 @pytest.mark.parametrize("module_name", [
     "repro.sim", "repro.net", "repro.rpc", "repro.transport",
     "repro.shims", "repro.workloads", "repro.analysis", "repro.model",
-    "repro.storage", "repro.baselines",
+    "repro.storage", "repro.baselines", "repro.telemetry",
 ])
 def test_subpackage_all_lists_are_accurate(module_name):
     module = __import__(module_name, fromlist=["__all__"])
@@ -57,6 +57,70 @@ def test_every_public_class_has_a_docstring():
             if inspect.isclass(obj) and not (obj.__doc__ or "").strip():
                 missing.append(f"{module.__name__}.{name}")
     assert missing == []
+
+
+def test_results_share_the_op_result_shape():
+    """GetResult and MutationResult are both OpResults with the common
+    status/latency/attempts/error/trace fields."""
+    from repro.core import GetResult, GetStatus, MutationResult, OpResult
+
+    assert issubclass(GetResult, OpResult)
+    assert issubclass(MutationResult, OpResult)
+    for cls in (GetResult, MutationResult):
+        result = cls()
+        for field_name in ("status", "latency", "attempts", "error",
+                           "trace"):
+            assert hasattr(result, field_name), (cls, field_name)
+    hit = GetResult(status=GetStatus.HIT, value=b"v", latency=1e-6)
+    assert hit.ok and hit.hit
+    miss = GetResult(status=GetStatus.MISS)
+    assert miss.ok and not miss.hit
+    err = GetResult(status=GetStatus.ERROR, error="deadline")
+    assert not err.ok
+
+
+def test_get_strategy_coercion():
+    from repro.core import (CliqueMapError, GetStrategy, LookupStrategy)
+
+    assert LookupStrategy is GetStrategy  # back-compat alias
+    assert GetStrategy.coerce("scar") is GetStrategy.SCAR
+    assert GetStrategy.coerce("2XR") is GetStrategy.TWO_R
+    assert GetStrategy.coerce(GetStrategy.MSG) is GetStrategy.MSG
+    with pytest.raises(CliqueMapError):
+        GetStrategy.coerce("quantum")
+
+
+def test_make_client_rejects_unknown_strategy():
+    from repro.core import Cell, CellSpec, CliqueMapError, ReplicationMode
+
+    cell = Cell(CellSpec(mode=ReplicationMode.R1, num_shards=2,
+                         transport="pony"))
+    with pytest.raises(CliqueMapError):
+        cell.make_client(strategy="quantum")
+    client = cell.make_client(strategy="rpc")  # strings are accepted
+    from repro.core import GetStrategy
+    assert client.strategy is GetStrategy.RPC
+
+
+def test_client_and_cell_are_context_managers():
+    from repro.core import Cell, CellSpec, ReplicationMode
+
+    with Cell(CellSpec(mode=ReplicationMode.R1, num_shards=2,
+                       transport="pony")) as cell:
+        with cell.connect_client() as client:
+            def app():
+                yield from client.set(b"k", b"v")
+                result = yield from client.get(b"k")
+                assert result.hit
+
+            cell.sim.run(until=cell.sim.process(app()))
+        assert client.closed
+    # Cell exit closes every client it created.
+    cell2 = Cell(CellSpec(mode=ReplicationMode.R1, num_shards=2,
+                          transport="pony"))
+    with cell2:
+        inner = cell2.connect_client()
+    assert inner.closed
 
 
 def test_client_public_methods_are_generators():
