@@ -22,6 +22,8 @@ from .maintenance import (MaintenanceConfig, MaintenanceController,
 from .quorum import (QuorumDecision, QuorumOutcome, ReplicaVote, VoteKind,
                      evaluate)
 from .repair import RepairConfig, RepairScanner, RepairStats
+from .resilience import (BackendHealth, BackoffPolicy, HealthPolicy,
+                         RetryBudget)
 from .slab import SlabAllocator
 from .tombstone import TombstoneCache
 from .truetime import TrueTime
@@ -46,6 +48,7 @@ __all__ = [
     "MaintenanceConfig", "MaintenanceController", "MaintenanceStats",
     "QuorumDecision", "QuorumOutcome", "ReplicaVote", "VoteKind", "evaluate",
     "RepairConfig", "RepairScanner", "RepairStats",
+    "BackendHealth", "BackoffPolicy", "HealthPolicy", "RetryBudget",
     "SlabAllocator", "TombstoneCache", "TrueTime",
     "VERSION_BYTES", "VersionFactory", "VersionNumber",
 ]

@@ -106,6 +106,10 @@ class Backend:
         self._m_handled = self.metrics.counter(
             "cliquemap_backend_rpcs_total",
             "RPCs handled by backend task and method")
+        self._m_up = self.metrics.gauge(
+            "cliquemap_backend_up",
+            "1 while the backend task is serving, 0 after stop/crash")
+        self._m_up.labels(task=task_name).set(1)
 
         cfg = self.config
         self.index = IndexRegion(cfg.num_buckets, cfg.ways, self.config_id)
@@ -190,6 +194,7 @@ class Backend:
     def stop(self) -> None:
         """Graceful exit (e.g. after migrating to a spare)."""
         self._stopped = True
+        self._m_up.labels(task=self.task_name).set(0)
         self.rpc_server.stop()
         if self.endpoint is not None:
             self.endpoint.revoke(self.index.window)
@@ -198,6 +203,7 @@ class Backend:
     def crash(self) -> None:
         """Unplanned failure: the whole host goes down."""
         self._stopped = True
+        self._m_up.labels(task=self.task_name).set(0)
         self.host.crash()
 
     def dram_used_bytes(self) -> int:

@@ -82,14 +82,17 @@ class Cell:
                                    self.spec.mode.replicas)
         # One registry + tracer for the whole cell: every client created
         # through make_client() records into these, so benchmarks and the
-        # dashboard read a single coherent snapshot.
+        # dashboard read a single coherent snapshot. The fabric counts
+        # drops/corruption/slow-links into the same registry.
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(clock=lambda: self.sim.now)
+        self.fabric.registry = self.metrics
 
         self.backends: Dict[str, Backend] = {}
         self.scanners: Dict[str, RepairScanner] = {}
         self._spare_pool: List[str] = []
         self._client_count = 0
+        self._client_seq = 0
         self._clients: List[CliqueMapClient] = []
 
         shard_tasks = []
@@ -266,11 +269,16 @@ class Cell:
                     reconnect_interval=max(0.1, 5 * wan_rtt))
         if self.transport is None and strategy is None:
             strategy = GetStrategy.RPC
+        # Per-cell client ids (not the process-global fallback counter):
+        # ids feed version tiebreaks and backoff-jitter seeds, so two
+        # identical runs in one process must hand out identical ids.
+        self._client_seq += 1
         client = CliqueMapClient(
             self.sim, self.fabric, host, self.spec.name, self.config_store,
             self.backend_by_task, self.transport, strategy=strategy,
             config=client_config, principal=principal,
-            registry=self.metrics, tracer=self.tracer)
+            registry=self.metrics, tracer=self.tracer,
+            client_id=self._client_seq)
         self._clients.append(client)
         return client
 

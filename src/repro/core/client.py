@@ -27,22 +27,27 @@ from typing import Callable, Dict, Generator, List, Optional, Tuple
 from ..net import Fabric, Host, NetworkDropError
 from ..rpc import (PermissionDeniedError, Principal, RpcChannel, RpcError,
                    connect as rpc_connect)
-from ..sim import Simulator
+from ..sim import RandomStream, Simulator
 from ..telemetry import (NULL_SPAN, MetricsRegistry, TraceContext, Tracer)
 from ..transport import (RegionRevokedError, RemoteHostDownError, RmaError,
                          Transport)
 from .config import (CellConfig, ConfigStore, GetStrategy, LookupStrategy,
                      ReplicationMode)
 from .data import try_decode
-from .errors import GetStatus, SetStatus
+from .errors import CliqueMapError, GetStatus, SetStatus
 from .hashing import Placement
 from .index import ParsedBucket, parse_bucket
 from .quorum import (QuorumDecision, QuorumOutcome, ReplicaVote, VoteKind,
                      evaluate)
+from .resilience import (BackendHealth, BackoffPolicy, HealthPolicy,
+                         RetryBudget)
 from .truetime import TrueTime
 from .version import VersionFactory, VersionNumber
 
-_client_ids = itertools.count(1)
+# Fallback id space for clients created outside a Cell; Cell-created
+# clients get deterministic per-cell ids (reproducibility requires that
+# version tiebreaks and backoff seeds not depend on process history).
+_client_ids = itertools.count(1 << 20)
 
 
 @dataclass
@@ -63,7 +68,17 @@ class ClientConfig:
 
     default_deadline: float = 10e-3
     max_retries: int = 10
+    # Backoff between retries: exponential with decorrelated jitter,
+    # starting at retry_backoff and capped at retry_backoff_cap. Set
+    # retry_backoff=0 to disable (no sleep between attempts).
     retry_backoff: float = 15e-6
+    retry_backoff_cap: float = 2e-3
+    # Token-bucket retry budget shared by all of this client's ops: each
+    # retry spends one token; when dry, retries are shed and the op fails
+    # fast with a "budget-exhausted" reason. capacity <= 0 disables.
+    retry_budget_capacity: float = 128.0
+    retry_budget_fill_rate: float = 1000.0      # tokens per second
+    health: HealthPolicy = field(default_factory=HealthPolicy)
     mutation_rpc_deadline: float = 5e-3
     touch_enabled: bool = True
     touch_flush_interval: float = 20e-3
@@ -81,6 +96,41 @@ class ClientConfig:
     compress_cpu_per_kb: float = 10e-6      # ~100 MB/s deflate
     decompress_cpu_per_kb: float = 3e-6     # ~300 MB/s inflate
     costs: ClientCostModel = field(default_factory=ClientCostModel)
+
+    def __post_init__(self) -> None:
+        for name, minimum in (("default_deadline", 0.0),
+                              ("mutation_rpc_deadline", 0.0),
+                              ("touch_flush_interval", 0.0),
+                              ("reconnect_interval", 0.0)):
+            value = getattr(self, name)
+            if value <= minimum:
+                raise CliqueMapError(
+                    f"ClientConfig.{name} must be > {minimum:g}, "
+                    f"got {value!r}")
+        if self.max_retries < 1:
+            raise CliqueMapError(
+                "ClientConfig.max_retries must be >= 1 (it counts "
+                f"attempts, including the first), got {self.max_retries!r}")
+        if self.retry_backoff < 0:
+            raise CliqueMapError(
+                "ClientConfig.retry_backoff must be >= 0, "
+                f"got {self.retry_backoff!r}")
+        if self.retry_backoff_cap < self.retry_backoff:
+            raise CliqueMapError(
+                "ClientConfig.retry_backoff_cap must be >= retry_backoff, "
+                f"got {self.retry_backoff_cap!r} < {self.retry_backoff!r}")
+        if self.retry_budget_fill_rate < 0:
+            raise CliqueMapError(
+                "ClientConfig.retry_budget_fill_rate must be >= 0, "
+                f"got {self.retry_budget_fill_rate!r}")
+        if self.touch_batch_max < 1:
+            raise CliqueMapError(
+                "ClientConfig.touch_batch_max must be >= 1, "
+                f"got {self.touch_batch_max!r}")
+        if self.compression_min_bytes < 0:
+            raise CliqueMapError(
+                "ClientConfig.compression_min_bytes must be >= 0, "
+                f"got {self.compression_min_bytes!r}")
 
 
 @dataclass
@@ -131,18 +181,29 @@ class MutationResult(OpResult):
 
 @dataclass
 class BackendView:
-    """Connection-time metadata for one backend task (§3)."""
+    """Connection-time metadata for one backend task (§3).
+
+    Liveness is delegated to a :class:`~repro.core.resilience.
+    BackendHealth` scoreboard: ``healthy`` (kept as a read-only property
+    for compatibility) now means *connected and not quarantined*, so a
+    flapping replica is excluded from the read cohort for a cooldown
+    instead of toggling a binary flag on every error.
+    """
 
     task: str
     host_name: str
     channel: RpcChannel
+    health: BackendHealth
     config_id: int = 0
     index_region_id: int = 0
     num_buckets: int = 0
     ways: int = 0
     bucket_bytes: int = 0
     data_region_id: int = 0
-    healthy: bool = False
+
+    @property
+    def healthy(self) -> bool:
+        return self.health.available()
 
 
 class _AttemptRetry(Exception):
@@ -168,7 +229,8 @@ class CliqueMapClient:
                  config: Optional[ClientConfig] = None,
                  truetime: Optional[TrueTime] = None,
                  registry: Optional[MetricsRegistry] = None,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 client_id: Optional[int] = None):
         self.sim = sim
         self.fabric = fabric
         self.host = host
@@ -177,7 +239,8 @@ class CliqueMapClient:
         self.directory = directory
         self.transport = transport
         self.principal = principal or Principal(f"client@{host.name}")
-        self.client_id = next(_client_ids)
+        self.client_id = client_id if client_id is not None \
+            else next(_client_ids)
         self.config = config or ClientConfig()
         if strategy is None:
             strategy = (GetStrategy.SCAR
@@ -197,11 +260,20 @@ class CliqueMapClient:
 
         self.stats = {
             "gets": 0, "hits": 0, "misses": 0, "get_errors": 0,
-            "retries": 0, "validation_failures": 0, "inquorate": 0,
-            "config_refreshes": 0, "view_refreshes": 0,
+            "retries": 0, "retries_shed": 0, "validation_failures": 0,
+            "inquorate": 0, "config_refreshes": 0, "view_refreshes": 0,
             "sets": 0, "erases": 0, "cas": 0, "overflow_lookups": 0,
             "torn_reads": 0, "version_races": 0,
         }
+
+        # Degradation machinery: decorrelated-jitter backoff (seeded per
+        # client id, so runs with the same topology are reproducible) and
+        # a token-bucket retry budget shared by all of this client's ops.
+        self._retry_rand = RandomStream(self.client_id, "client-backoff")
+        self._retry_budget = RetryBudget(
+            clock=lambda: self.sim.now,
+            capacity=self.config.retry_budget_capacity,
+            fill_rate=self.config.retry_budget_fill_rate)
 
         # Telemetry: a cell-shared registry when created via Cell, a
         # private one for standalone clients; the tracer retains recent
@@ -220,6 +292,12 @@ class CliqueMapClient:
         self._m_touch_pending = self.metrics.gauge(
             "cliquemap_pending_touches",
             "Key touches buffered awaiting the next batched Touch RPC")
+        self._m_retries_shed = self.metrics.counter(
+            "cliquemap_retries_shed_total",
+            "Retries refused because the client's retry budget was dry")
+        self._m_quarantine = self.metrics.counter(
+            "cliquemap_backend_quarantine_total",
+            "Backend quarantine transitions by task and event (enter/exit)")
 
     # ------------------------------------------------------------------
     # Connection management
@@ -233,6 +311,14 @@ class CliqueMapClient:
         for task in set(self.cell.shard_tasks):
             yield from self._build_view(task)
 
+    def _health_event(self, task: str, event: str) -> None:
+        self._m_quarantine.labels(task=task, event=event).inc()
+
+    def _new_health(self, task: str) -> BackendHealth:
+        return BackendHealth(task, clock=lambda: self.sim.now,
+                             policy=self.config.health,
+                             on_event=self._health_event)
+
     def _build_view(self, task: str) -> Generator:
         backend = self.directory(task)
         view = self._views.get(task)
@@ -240,14 +326,16 @@ class CliqueMapClient:
             channel = rpc_connect(self.sim, self.fabric, self.host,
                                   backend.rpc_server, self.principal,
                                   client_component="cliquemap-client")
+            health = view.health if view is not None \
+                else self._new_health(task)
             view = BackendView(task=task, host_name=backend.host.name,
-                               channel=channel)
+                               channel=channel, health=health)
             self._views[task] = view
         try:
             info = yield from view.channel.call(
                 "Info", {}, deadline=self.config.mutation_rpc_deadline)
         except RpcError:
-            view.healthy = False
+            view.health.mark_down()
             self._start_reconnect(task)
             return view
         view.config_id = info["config_id"]
@@ -256,7 +344,10 @@ class CliqueMapClient:
         view.ways = info["ways"]
         view.bucket_bytes = info["bucket_bytes"]
         view.data_region_id = info["data_region_id"]
-        view.healthy = True
+        # A handshake proves the control channel, not the data path: it
+        # reconnects the view but does not clear quarantine — only op
+        # successes do, so a gray replica cannot flap back in.
+        view.health.mark_connected()
         self.stats["view_refreshes"] += 1
         return view
 
@@ -282,7 +373,9 @@ class CliqueMapClient:
                 if task not in {t for t in self.cell.shard_tasks}:
                     return  # task no longer serves; a refresh will rebuild
                 view = yield from self._build_view(task)
-                if view.healthy:
+                if view.health.connected:
+                    # Reconnected; any remaining quarantine expires on
+                    # its own cooldown (or on the next op success).
                     return
         finally:
             self._reconnecting.discard(task)
@@ -311,6 +404,9 @@ class CliqueMapClient:
         key_hash = self.placement.key_hash(key)
         attempts = 0
         last_reason = "no-healthy-replicas"
+        backoff = BackoffPolicy(self.config.retry_backoff,
+                                self.config.retry_backoff_cap,
+                                self._retry_rand)
         root = self.tracer.start("get", client=self.client_id,
                                  strategy=self.strategy.value)
 
@@ -328,6 +424,18 @@ class CliqueMapClient:
                     self.stats["validation_failures"] += 1
                 if retry.reason == "inquorate":
                     self.stats["inquorate"] += 1
+                if attempts >= self.config.max_retries or \
+                        self.sim.now >= deadline_at:
+                    continue  # terminal: no further attempt to pay for
+                if not self._retry_budget.try_spend():
+                    # Budget dry: shed the retry instead of amplifying
+                    # the overload; fail fast with a distinct reason.
+                    self.stats["retries_shed"] += 1
+                    self._m_retries_shed.labels(op="get",
+                                                reason=retry.reason).inc()
+                    last_reason = "budget-exhausted"
+                    root.annotate(shed_retry=True)
+                    break
                 recovery = root.child("retry", attempt=attempts,
                                       reason=retry.reason)
                 for task in retry.stale_tasks:
@@ -338,15 +446,19 @@ class CliqueMapClient:
                                     "replica-down", "replica-error"):
                     # Failed-RMA retries contact backends via RPC as part
                     # of the retry procedure (§4.1) — re-handshake any
-                    # unhealthy cohort member inline rather than waiting
-                    # for the background reconnect loop.
+                    # disconnected cohort member inline rather than
+                    # waiting for the background reconnect loop.
+                    # Quarantined members are left to cool down.
                     for shard in self.placement.shards_for(key_hash):
                         task = self.cell.task_for_shard(shard)
                         view = self._views.get(task)
-                        if view is None or not view.healthy:
+                        if view is None or (not view.health.connected and
+                                            not view.health.quarantined):
                             yield from self._build_view(task)
-                if self.config.retry_backoff:
-                    yield self.sim.timeout(self.config.retry_backoff)
+                delay = min(backoff.next_delay(),
+                            max(0.0, deadline_at - self.sim.now))
+                if delay:
+                    yield self.sim.timeout(delay)
                 recovery.finish()
                 continue
             latency = self.sim.now - started
@@ -636,11 +748,12 @@ class CliqueMapClient:
                     len(key) + 64, {"key": key}, trace=msg_span)
             except (RemoteHostDownError, RmaError, NetworkDropError):
                 msg_span.annotate(outcome="down").finish()
-                view.healthy = False
+                view.health.mark_down()
                 self._start_reconnect(view.task)
                 continue
             finally:
                 msg_span.finish()
+            view.health.record_success()
             self.host.charge_inline(self.config.costs.completion_cpu,
                                     "cliquemap-client")
             if not reply.get("found"):
@@ -677,6 +790,17 @@ class CliqueMapClient:
 
     # -- fetch helpers ---------------------------------------------------------
 
+    def _leg_down(self, view: BackendView) -> None:
+        """One RMA leg found the backend unreachable.
+
+        Recorded at the leg, not at vote collection: once a quorum
+        settles, the losing legs are abandoned — but a gray (lossy)
+        replica's failures must still feed the health scoreboard or it
+        never trips quarantine while the quorum keeps masking it.
+        """
+        view.health.mark_down()
+        self._start_reconnect(view.task)
+
     def _bucket_location(self, view: BackendView,
                          key_hash: bytes) -> Tuple[int, int]:
         bucket = int.from_bytes(key_hash[:8], "little") % view.num_buckets
@@ -698,10 +822,12 @@ class CliqueMapClient:
             return ("stale", view.task, None)
         except (RemoteHostDownError, RmaError, NetworkDropError):
             op.annotate(outcome="down").finish()
+            self._leg_down(view)
             return ("down", view.task, None)
         op.finish()
         self.host.charge_inline(self.config.costs.completion_cpu,
                                 "cliquemap-client")
+        view.health.record_success()
         parsed = parse_bucket(raw, view.ways)
         if not parsed.magic_ok:
             return ("stale", view.task, None)
@@ -724,10 +850,12 @@ class CliqueMapClient:
             return ("stale", view.task, None)
         except (RemoteHostDownError, RmaError, NetworkDropError):
             op.annotate(outcome="down").finish()
+            self._leg_down(view)
             return ("down", view.task, None)
         op.finish()
         self.host.charge_inline(self.config.costs.completion_cpu,
                                 "cliquemap-client")
+        view.health.record_success()
         parsed = parse_bucket(bucket_raw, view.ways)
         if not parsed.magic_ok:
             return ("stale", view.task, None)
@@ -763,14 +891,17 @@ class CliqueMapClient:
                     return ("stale", view.task, None)
                 except (RemoteHostDownError, RmaError, NetworkDropError):
                     op.annotate(outcome="down")
+                    self._leg_down(view)
                     return ("down", view.task, None)
             except (RemoteHostDownError, RmaError, NetworkDropError):
                 op.annotate(outcome="down")
+                self._leg_down(view)
                 return ("down", view.task, None)
         finally:
             op.finish()
         self.host.charge_inline(self.config.costs.completion_cpu,
                                 "cliquemap-client")
+        view.health.record_success()
         return ("ok", view.task, raw)
 
     # -- vote/validation helpers ------------------------------------------------
@@ -791,8 +922,7 @@ class CliqueMapClient:
             stale.append(view.task)
             return ReplicaVote.error(view.task)
         if kind == "down":
-            view.healthy = False
-            self._start_reconnect(view.task)
+            # Health already recorded at the leg (see _leg_down).
             return ReplicaVote.error(view.task)
         if kind == "config":
             return ReplicaVote.error(view.task)
@@ -920,6 +1050,9 @@ class CliqueMapClient:
         payload_size = len(key) + len(value) + 64
         quorum = self.cell.mode.quorum
         last = MutationResult(SetStatus.FAILED)
+        backoff = BackoffPolicy(self.config.retry_backoff,
+                                self.config.retry_backoff_cap,
+                                self._retry_rand)
 
         for _attempt in range(self.config.max_retries):
             if self.sim.now >= deadline_at:
@@ -957,6 +1090,20 @@ class CliqueMapClient:
             last = MutationResult(SetStatus.FAILED, version=version,
                                   replicas_applied=applied, latency=latency,
                                   attempts=_attempt + 1)
+            if _attempt + 1 >= self.config.max_retries or \
+                    self.sim.now >= deadline_at:
+                continue  # loop is about to end; nothing to pay for
+            if not self._retry_budget.try_spend():
+                self.stats["retries_shed"] += 1
+                self._m_retries_shed.labels(op="set",
+                                            reason="inquorate").inc()
+                last.error = "budget-exhausted"
+                root.annotate(shed_retry=True)
+                break
+            delay = min(backoff.next_delay(),
+                        max(0.0, deadline_at - self.sim.now))
+            if delay:
+                yield self.sim.timeout(delay)
         root.finish()
         last.trace = self._finish_op("set", "failed", last.latency, root)
         return last
@@ -978,6 +1125,9 @@ class CliqueMapClient:
         root = self.tracer.start("erase", client=self.client_id)
         quorum = self.cell.mode.quorum
         last = MutationResult(SetStatus.FAILED)
+        backoff = BackoffPolicy(self.config.retry_backoff,
+                                self.config.retry_backoff_cap,
+                                self._retry_rand)
 
         for _attempt in range(self.config.max_retries):
             if self.sim.now >= deadline_at:
@@ -1012,6 +1162,20 @@ class CliqueMapClient:
             last = MutationResult(SetStatus.FAILED, version=version,
                                   replicas_applied=applied, latency=latency,
                                   attempts=_attempt + 1)
+            if _attempt + 1 >= self.config.max_retries or \
+                    self.sim.now >= deadline_at:
+                continue
+            if not self._retry_budget.try_spend():
+                self.stats["retries_shed"] += 1
+                self._m_retries_shed.labels(op="erase",
+                                            reason="inquorate").inc()
+                last.error = "budget-exhausted"
+                root.annotate(shed_retry=True)
+                break
+            delay = min(backoff.next_delay(),
+                        max(0.0, deadline_at - self.sim.now))
+            if delay:
+                yield self.sim.timeout(delay)
         root.finish()
         last.trace = self._finish_op("erase", "failed", last.latency, root)
         return last
@@ -1101,6 +1265,7 @@ class CliqueMapClient:
                     method, payload,
                     deadline=self.config.mutation_rpc_deadline,
                     request_size=payload_size, trace=fanout_span)
+                view.health.record_success()
                 return reply
             except PermissionDeniedError:
                 return None  # unauthorized: not retryable
@@ -1108,8 +1273,10 @@ class CliqueMapClient:
                 view_alive = self.directory(view.task).alive \
                     if self.directory else True
                 if not view_alive:
-                    view.healthy = False
+                    view.health.mark_down()
                     self._start_reconnect(view.task)
+                else:
+                    view.health.record_failure()
                 return None
 
         procs = [self.sim.process(one(view)) for view in views]
@@ -1165,6 +1332,14 @@ class CliqueMapClient:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+
+    @property
+    def retry_budget(self) -> RetryBudget:
+        return self._retry_budget
+
+    def backend_health(self, task: str) -> Optional[BackendHealth]:
+        view = self._views.get(task)
+        return view.health if view is not None else None
 
     @property
     def closed(self) -> bool:

@@ -46,6 +46,9 @@ class MaintenanceController:
         self.cell = cell
         self.config = config or MaintenanceConfig()
         self.stats = MaintenanceStats()
+        self._m_events = cell.metrics.counter(
+            "cliquemap_maintenance_events_total",
+            "Maintenance events driven on the cell, by kind")
 
     # ------------------------------------------------------------------
     # Planned maintenance
@@ -60,6 +63,7 @@ class MaintenanceController:
         primary = self.cell.backend_by_task(primary_task)
         spare = self.cell.backend_by_task(spare_task)
         self.stats.planned_migrations += 1
+        self._m_events.labels(kind="planned-restart").inc()
 
         # 1. Transfer identity and data to the spare (RPC traffic).
         spare.shard = shard
@@ -122,6 +126,7 @@ class MaintenanceController:
         backend = self.cell.backend_by_task(task)
         backend.crash()
         self.stats.unplanned_restarts += 1
+        self._m_events.labels(kind="unplanned-crash").inc()
         yield self.sim.timeout(restart_delay
                                if restart_delay is not None
                                else self.config.crash_restart_delay)

@@ -20,6 +20,7 @@ from typing import Dict, Generator, List, Optional
 
 from ..rpc import Principal, RpcError, connect as rpc_connect
 from ..sim import Simulator
+from .errors import CliqueMapError
 from .truetime import TrueTime
 from .version import VersionFactory, VersionNumber
 
@@ -36,6 +37,20 @@ class RepairConfig:
     rpc_deadline: float = 50e-3
     batch_size: int = 64                 # repair installs per MigrateIn RPC
     enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scan_interval <= 0:
+            raise CliqueMapError(
+                f"RepairConfig.scan_interval must be > 0, "
+                f"got {self.scan_interval!r}")
+        if self.rpc_deadline <= 0:
+            raise CliqueMapError(
+                f"RepairConfig.rpc_deadline must be > 0, "
+                f"got {self.rpc_deadline!r}")
+        if self.batch_size < 1:
+            raise CliqueMapError(
+                f"RepairConfig.batch_size must be >= 1, "
+                f"got {self.batch_size!r}")
 
 
 @dataclass

@@ -1,0 +1,9 @@
+"""First-class fault injection: plans, injectors, and chaos soaks."""
+
+from .plan import DEFAULT_KINDS, FaultEvent, FaultInjector, FaultPlan
+from .soak import SoakConfig, SoakReport, run_soak
+
+__all__ = [
+    "DEFAULT_KINDS", "FaultEvent", "FaultInjector", "FaultPlan",
+    "SoakConfig", "SoakReport", "run_soak",
+]

@@ -1,0 +1,208 @@
+"""A seeded chaos soak: plan faults, churn load, verify invariants.
+
+``run_soak`` stands up a cell, generates a :class:`FaultPlan` from the
+seed, and replays it through a :class:`FaultInjector` while writers and
+a reader churn. It checks the two properties every CliqueMap mechanism
+exists to protect:
+
+1. a HIT never returns a value that was not written to that key;
+2. after the faults heal and repairs settle, every key reads back as
+   its last acknowledged write (or a concurrently-written value).
+
+The report carries the plan, the violations (hopefully empty), and the
+cell's final metrics snapshot, so a chaos run's whole story — injections
+fired, retries spent and shed, quarantines entered, corrupt deliveries
+caught — is printable from one object. Used by
+``python -m repro.tools chaos`` and rebased chaos tests alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core import (Cell, CellSpec, ClientConfig, GetStatus, GetStrategy,
+                    MaintenanceConfig, RepairConfig, ReplicationMode,
+                    SetStatus)
+from ..sim import RandomStream
+from .plan import DEFAULT_KINDS, FaultInjector, FaultPlan
+
+# Metric families summarized in SoakReport.reaction_rows(); the soak's
+# reaction story in one table.
+_REACTION_FAMILIES = (
+    "cliquemap_faults_injected_total",
+    "cliquemap_fabric_dropped_total",
+    "cliquemap_fabric_corrupted_total",
+    "cliquemap_fabric_slowed_total",
+    "cliquemap_retries_total",
+    "cliquemap_retries_shed_total",
+    "cliquemap_backend_quarantine_total",
+    "cliquemap_maintenance_events_total",
+)
+
+
+@dataclass
+class SoakConfig:
+    """Everything a reproducible soak needs."""
+
+    seed: int = 1
+    duration: float = 2.0          # fault-injection window (simulated s)
+    settle: float = 2.0            # post-heal repair/convergence window
+    num_shards: int = 3
+    num_keys: int = 12
+    num_writers: int = 2
+    transport: str = "pony"
+    mean_fault_interval: float = 0.15
+    kinds: Tuple[str, ...] = DEFAULT_KINDS
+    repair_scan_interval: float = 0.25
+    reader_config: ClientConfig = field(default_factory=lambda: ClientConfig(
+        max_retries=6, default_deadline=5e-3))
+
+
+@dataclass
+class SoakReport:
+    """Outcome of one soak run."""
+
+    config: SoakConfig
+    plan_lines: List[str]
+    injected: List[str]                  # events as applied (with outcome)
+    bad_hits: List[Tuple[int, bytes]]    # HITs of never-written values
+    unrecovered: List[Tuple[int, object, Optional[bytes]]]
+    diverged: List[int]                  # keys where replicas disagree
+    metric_totals: Dict[str, float]      # family -> total across series
+    snapshot: dict                       # full registry snapshot
+
+    @property
+    def ok(self) -> bool:
+        return not self.bad_hits and not self.unrecovered \
+            and not self.diverged
+
+    def fault_rows(self) -> List[List[str]]:
+        return [[line] for line in self.injected]
+
+    def reaction_rows(self) -> List[List[str]]:
+        return [[family, f"{total:g}"]
+                for family, total in self.metric_totals.items()]
+
+
+def _registry_totals(registry) -> Dict[str, float]:
+    totals = {}
+    for family in _REACTION_FAMILIES:
+        totals[family] = registry.total(family)
+    return totals
+
+
+def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
+    """Run one seeded chaos soak to completion and report."""
+    config = config or SoakConfig()
+    cell = Cell(CellSpec(
+        mode=ReplicationMode.R3_2, num_shards=config.num_shards,
+        transport=config.transport,
+        repair_config=RepairConfig(
+            enabled=True, scan_interval=config.repair_scan_interval),
+        maintenance_config=MaintenanceConfig()))
+    sim = cell.sim
+    writers = [cell.connect_client() for _ in range(config.num_writers)]
+    reader = cell.connect_client(strategy=GetStrategy.TWO_R,
+                                 client_config=config.reader_config)
+    clients = writers + [reader]
+    stream = RandomStream(config.seed, "chaos")
+
+    keys = config.num_keys
+    written = {i: set() for i in range(keys)}   # all values ever written
+    last_applied: Dict[int, bytes] = {}          # key -> last acked value
+    bad_hits: List[Tuple[int, bytes]] = []
+    done = [False]
+
+    def key_name(i):
+        return b"chaos-key-%d" % i
+
+    def seed_corpus():
+        for i in range(keys):
+            value = b"init-%d" % i
+            result = yield from writers[0].set(key_name(i), value)
+            assert result.status is SetStatus.APPLIED
+            written[i].add(value)
+            last_applied[i] = value
+
+    sim.run(until=sim.process(seed_corpus()))
+
+    def writer_loop(client, tag, rand):
+        generation = 0
+        # Each writer owns a disjoint slice of the keyspace so "last
+        # acknowledged write" is unambiguous.
+        own = [i for i in range(keys) if i % len(writers) == tag]
+        while not done[0]:
+            i = own[rand.randint(0, len(own) - 1)]
+            generation += 1
+            value = b"w%d-g%d" % (tag, generation)
+            written[i].add(value)
+            result = yield from client.set(key_name(i), value)
+            if result.status is SetStatus.APPLIED:
+                last_applied[i] = value
+            yield sim.timeout(rand.uniform(1e-3, 5e-3))
+
+    def reader_loop(rand):
+        while not done[0]:
+            i = rand.randint(0, keys - 1)
+            result = yield from reader.get(key_name(i))
+            if result.status is GetStatus.HIT and \
+                    result.value not in written[i]:
+                bad_hits.append((i, result.value))
+            yield sim.timeout(rand.uniform(0.5e-3, 2e-3))
+
+    plan = FaultPlan.generate(
+        stream.child("plan"), duration=config.duration,
+        num_shards=config.num_shards, num_clients=len(clients),
+        mean_interval=config.mean_fault_interval, kinds=config.kinds)
+    injector = FaultInjector(cell, plan,
+                             client_hosts=[c.host for c in clients])
+
+    procs = [
+        sim.process(writer_loop(writers[tag], tag,
+                                stream.child(f"w{tag}")))
+        for tag in range(len(writers))
+    ]
+    procs.append(sim.process(reader_loop(stream.child("r"))))
+    chaos = sim.process(injector.run())
+    sim.run(until=chaos)
+    done[0] = True
+    sim.run(until=sim.all_of(procs))
+
+    # Let repairs settle, then verify full recovery.
+    sim.run(until=sim.now + config.settle)
+
+    def verify():
+        mismatches = []
+        for i in range(keys):
+            result = yield from reader.get(key_name(i), deadline=0.5)
+            if result.status is not GetStatus.HIT:
+                mismatches.append((i, result.status, None))
+            elif result.value != last_applied[i] and \
+                    result.value not in written[i]:
+                mismatches.append((i, result.status, result.value))
+        return mismatches
+
+    unrecovered = sim.run(until=sim.process(verify()))
+
+    diverged = []
+    for i in range(keys):
+        values = {b.lookup_local(key_name(i))[0]
+                  for b in cell.serving_backends()
+                  if b.alive and b.lookup_local(key_name(i)) is not None}
+        if len(values) > 1:
+            diverged.append(i)
+
+    return SoakReport(
+        config=config,
+        plan_lines=plan.schedule_lines(),
+        injected=[f"t={at:.3f}s {event.kind} [{outcome}] " +
+                  " ".join(f"{k}={v:.3g}" if isinstance(v, float)
+                           else f"{k}={v}"
+                           for k, v in sorted(event.args.items()))
+                  for at, event, outcome in injector.injected],
+        bad_hits=bad_hits,
+        unrecovered=unrecovered,
+        diverged=diverged,
+        metric_totals=_registry_totals(cell.metrics),
+        snapshot=cell.metrics.snapshot())

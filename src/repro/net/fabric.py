@@ -24,12 +24,64 @@ from .nic import MtuConfig, Nic, gbps
 
 
 class NetworkDropError(Exception):
-    """Delivery dropped by a network partition; detected by timeout."""
+    """Delivery dropped (partition or loss); detected by timeout."""
 
-    def __init__(self, src: str, dst: str):
-        super().__init__(f"packets from {src} to {dst} are being dropped")
+    def __init__(self, src: str, dst: str, reason: str = "partition"):
+        super().__init__(f"packets from {src} to {dst} are being dropped "
+                         f"({reason})")
         self.src = src
         self.dst = dst
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """A gray-failure model applied to deliveries on a link or host.
+
+    Unlike a partition (binary, total) a gray fault degrades: a fraction
+    of packets are lost, a fraction arrive corrupted, and/or propagation
+    is slowed by a multiplier (an overloaded or mis-negotiated link).
+    Losses behave like partitions for the affected delivery — the sender
+    burns the retransmit-timeout delay and raises
+    :class:`NetworkDropError`. Corruption is surfaced to RMA callers as
+    a flag on the delivery (see :meth:`Fabric.deliver`), which transports
+    translate into flipped payload bytes for the client's checksum
+    validation to catch; RPC payloads are carried by a transport with
+    its own integrity layer and are not corrupted.
+    """
+
+    loss_probability: float = 0.0
+    corrupt_probability: float = 0.0
+    latency_multiplier: float = 1.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ValueError(
+                f"loss_probability must be in [0, 1], "
+                f"got {self.loss_probability}")
+        if not 0.0 <= self.corrupt_probability <= 1.0:
+            raise ValueError(
+                f"corrupt_probability must be in [0, 1], "
+                f"got {self.corrupt_probability}")
+        if self.latency_multiplier < 1.0:
+            raise ValueError(
+                f"latency_multiplier must be >= 1, "
+                f"got {self.latency_multiplier}")
+
+    @property
+    def degraded(self) -> bool:
+        return (self.loss_probability > 0 or self.corrupt_probability > 0
+                or self.latency_multiplier != 1.0)
+
+    def combine(self, other: "LinkFault") -> "LinkFault":
+        """Stack two faults: independent losses/corruption, serial slowdown."""
+        return LinkFault(
+            loss_probability=1.0 - (1.0 - self.loss_probability) *
+            (1.0 - other.loss_probability),
+            corrupt_probability=1.0 - (1.0 - self.corrupt_probability) *
+            (1.0 - other.corrupt_probability),
+            latency_multiplier=self.latency_multiplier *
+            other.latency_multiplier)
 
 
 @dataclass
@@ -58,6 +110,20 @@ class Fabric:
         self.hosts: Dict[str, Host] = {}
         self._rand = RandomStream(self.config.seed, "fabric")
         self._partitions: set = set()
+        self._link_faults: Dict[frozenset, LinkFault] = {}
+        self._host_faults: Dict[str, LinkFault] = {}
+        # Optional MetricsRegistry (set by Cell): drop/corrupt/slow events
+        # are counted here so a chaos run is readable from render_metrics().
+        self.registry = None
+
+    def _count(self, name: str, help_text: str, **labels) -> None:
+        if self.registry is not None:
+            self.registry.counter(name, help_text).labels(**labels).inc()
+
+    def _count_drop(self, reason: str) -> None:
+        self._count("cliquemap_fabric_dropped_total",
+                    "Deliveries dropped by the fabric, by cause",
+                    reason=reason)
 
     # -- topology -----------------------------------------------------------
 
@@ -88,22 +154,43 @@ class Fabric:
                 priority: int = 0, trace=None) -> Generator:
         """Move ``payload_bytes`` from ``src`` to ``dst`` (a generator).
 
-        Completes when the last byte has been received. Loopback delivery
-        (src is dst) skips the NIC entirely. When ``trace`` (a telemetry
-        span) is given, the delivery decomposes into egress-queueing,
-        propagation, and ingress-queueing child spans.
+        Completes when the last byte has been received; returns ``True``
+        when an injected gray fault corrupted the delivery in flight (the
+        caller decides what "corrupted" means for its payload — RMA
+        transports flip response bytes, RPC ignores the flag). Loopback
+        delivery (src is dst) skips the NIC entirely. When ``trace`` (a
+        telemetry span) is given, the delivery decomposes into
+        egress-queueing, propagation, and ingress-queueing child spans.
         """
         span = (trace or NULL_SPAN).child("fabric.deliver", src=src.name,
                                           dst=dst.name, bytes=payload_bytes)
         try:
             if src is dst:
                 yield self.sim.timeout(1e-7)
-                return
+                return False
             if self.is_partitioned(src, dst):
                 # Packets vanish; the sender learns via (re)transmit timeout.
-                span.annotate(dropped=True)
+                span.annotate(dropped=True, reason="partition")
+                self._count_drop("partition")
                 yield self.sim.timeout(self.config.partition_detect_delay)
-                raise NetworkDropError(src.name, dst.name)
+                raise NetworkDropError(src.name, dst.name, "partition")
+            fault = self.fault_between(src, dst)
+            corrupted = False
+            if fault is not None:
+                if fault.loss_probability and \
+                        self._rand.bernoulli(fault.loss_probability):
+                    span.annotate(dropped=True, reason="loss")
+                    self._count_drop("loss")
+                    yield self.sim.timeout(
+                        self.config.partition_detect_delay)
+                    raise NetworkDropError(src.name, dst.name, "loss")
+                if fault.corrupt_probability and \
+                        self._rand.bernoulli(fault.corrupt_probability):
+                    corrupted = True
+                    span.annotate(corrupted=True)
+                    self._count("cliquemap_fabric_corrupted_total",
+                                "Deliveries corrupted in flight by an "
+                                "injected gray fault")
             wire = self.config.mtu.wire_bytes(payload_bytes)
             egress = span.child("egress")
             yield from src.nic.egress.transmit(wire, priority)
@@ -114,14 +201,28 @@ class Fabric:
                 else self.config.inter_zone_delay
             if self.config.delay_jitter:
                 delay += self._rand.uniform(0.0, self.config.delay_jitter)
+            if fault is not None and fault.latency_multiplier != 1.0:
+                delay *= fault.latency_multiplier
+                span.annotate(slowed=fault.latency_multiplier)
+                self._count("cliquemap_fabric_slowed_total",
+                            "Deliveries delayed by an injected slow-link "
+                            "fault")
             propagate = span.child("propagate")
             yield self.sim.timeout(delay)
             propagate.finish()
             ingress = span.child("ingress")
             yield from dst.nic.ingress.transmit(wire, priority)
             ingress.finish()
+            return corrupted
         finally:
             span.finish()
+
+    def corrupt(self, data: bytes) -> bytes:
+        """Flip one seeded-random byte of ``data`` (a corrupted delivery)."""
+        if not data:
+            return data
+        i = self._rand.randint(0, len(data) - 1)
+        return data[:i] + bytes([data[i] ^ 0xFF]) + data[i + 1:]
 
     # -- partitions -----------------------------------------------------------
 
@@ -137,6 +238,41 @@ class Fabric:
 
     def is_partitioned(self, a: Host, b: Host) -> bool:
         return frozenset((a.name, b.name)) in self._partitions
+
+    # -- gray failures --------------------------------------------------------
+
+    def degrade(self, a: Host, b: Host, fault: LinkFault) -> None:
+        """Apply ``fault`` to all deliveries between ``a`` and ``b``."""
+        self._link_faults[frozenset((a.name, b.name))] = fault
+
+    def clear_degrade(self, a: Host, b: Host) -> None:
+        self._link_faults.pop(frozenset((a.name, b.name)), None)
+
+    def degrade_host(self, host: Host, fault: LinkFault) -> None:
+        """Apply ``fault`` to every delivery to or from ``host``."""
+        self._host_faults[host.name] = fault
+
+    def clear_host_fault(self, host: Host) -> None:
+        self._host_faults.pop(host.name, None)
+
+    def host_fault(self, host: Host) -> Optional[LinkFault]:
+        return self._host_faults.get(host.name)
+
+    def clear_faults(self) -> None:
+        self._link_faults.clear()
+        self._host_faults.clear()
+
+    def fault_between(self, src: Host, dst: Host) -> Optional[LinkFault]:
+        """The effective (stacked) gray fault for one delivery, or None."""
+        fault = None
+        for candidate in (self._link_faults.get(
+                              frozenset((src.name, dst.name))),
+                          self._host_faults.get(src.name),
+                          self._host_faults.get(dst.name)):
+            if candidate is None:
+                continue
+            fault = candidate if fault is None else fault.combine(candidate)
+        return fault
 
     # -- background antagonist traffic ---------------------------------------
 

@@ -10,6 +10,8 @@ Run with ``python -m repro.tools <command>``:
   dashboard snapshot.
 * ``metrics``      — print the telemetry registry of a live cell
   (``--demo`` runs a small workload first and renders an op trace).
+* ``chaos``        — seeded fault-injection soak: print the fault plan,
+  the injected events, and the reaction metric tables.
 * ``model-check``  — explicit-state check of the R=3.2 protocol.
 """
 
@@ -188,6 +190,37 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from ..analysis import render_table
+    from ..faults import SoakConfig, run_soak
+
+    report = run_soak(SoakConfig(
+        seed=args.seed, duration=args.duration, settle=args.settle,
+        num_shards=args.shards, num_keys=args.keys,
+        transport=args.transport))
+    print(render_table(f"fault plan (seed={args.seed})", ["event"],
+                       [[line] for line in report.plan_lines]))
+    print()
+    print(render_table("injected faults", ["event"], report.fault_rows()))
+    print()
+    print(render_table("reactions", ["metric family", "total"],
+                       report.reaction_rows()))
+    print()
+    if report.ok:
+        print("invariants hold: no bad hits, all keys recovered, "
+              "replicas converged")
+        return 0
+    for i, value in report.bad_hits:
+        print(f"BAD HIT: key {i} returned unwritten value {value!r}")
+    for i, status, value in report.unrecovered:
+        print(f"UNRECOVERED: key {i} -> {status} "
+              f"(value={value!r})" if value is not None
+              else f"UNRECOVERED: key {i} -> {status}")
+    for i in report.diverged:
+        print(f"DIVERGED: key {i} replicas disagree after settle")
+    return 1
+
+
 def cmd_model_check(args: argparse.Namespace) -> int:
     from ..model import check
 
@@ -256,6 +289,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time-scale", type=float, default=1.0)
     p.add_argument("--seed", type=int, default=1)
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("chaos",
+                       help="seeded fault-injection soak with invariant "
+                            "checks")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="fault-injection window (simulated seconds)")
+    p.add_argument("--settle", type=float, default=2.0,
+                   help="post-heal convergence window before verification")
+    p.add_argument("--shards", type=int, default=3)
+    p.add_argument("--keys", type=int, default=12)
+    p.add_argument("--transport", default="pony",
+                   choices=["pony", "1rma", "rdma"])
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("model-check",
                        help="explicit-state check of R=3.2 (§5.1)")

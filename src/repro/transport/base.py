@@ -28,6 +28,7 @@ class TransportCounters:
     scars: int = 0
     messages: int = 0
     failures: int = 0
+    corrupted: int = 0
     bytes_fetched: int = 0
 
 
@@ -98,3 +99,19 @@ class Transport:
         except RegionRevokedError:
             self.counters.failures += 1
             raise
+
+    def _maybe_corrupt(self, data: bytes, corrupted) -> bytes:
+        """Flip a payload byte when the response delivery was corrupted.
+
+        ``corrupted`` is the return value of ``fabric.deliver`` for the
+        response leg. One-sided responses carry raw snapshot bytes with
+        no link-level integrity, so an in-flight corruption reaches the
+        client and must be caught by CliqueMap's own checksum/validation
+        path (§5.1). Request legs and RPC/message payloads are not
+        corrupted: requests are tiny commands and the RPC transport has
+        its own integrity layer.
+        """
+        if not corrupted or not data:
+            return data
+        self.counters.corrupted += 1
+        return self.fabric.corrupt(data)

@@ -94,9 +94,10 @@ class OneRmaTransport(Transport):
                                size / self.cost.pcie_bytes_per_sec)
         data = window.read(offset, size)  # the snapshot instant
         serve_span.finish()
-        yield from self.fabric.deliver(endpoint.host, client_host,
-                                       len(data) + RMA_RESPONSE_HEADER_BYTES,
-                                       trace=trace)
+        corrupted = yield from self.fabric.deliver(
+            endpoint.host, client_host,
+            len(data) + RMA_RESPONSE_HEADER_BYTES, trace=trace)
+        data = self._maybe_corrupt(data, corrupted)
         if self.record_timestamps:
             self.command_timestamps.append(
                 (self.sim.now, self.sim.now - issued_at))

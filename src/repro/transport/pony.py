@@ -171,9 +171,10 @@ class PonyTransport(Transport):
         window = self._resolve_or_fail(endpoint, region_id)
         data = window.read(offset, size)  # the snapshot instant
         serve_span.finish()
-        yield from self.fabric.deliver(endpoint.host, client_host,
-                                       len(data) + RMA_RESPONSE_HEADER_BYTES,
-                                       trace=trace)
+        corrupted = yield from self.fabric.deliver(
+            endpoint.host, client_host,
+            len(data) + RMA_RESPONSE_HEADER_BYTES, trace=trace)
+        data = self._maybe_corrupt(data, corrupted)
         rx = trace.child("nic.rx")
         yield from self.engine_group(client_host).serve(
             self.cost.client_rx + self._payload_cost(len(data)))
@@ -229,8 +230,15 @@ class PonyTransport(Transport):
 
         resp_bytes = (len(bucket) + (len(data) if data else 0) +
                       RMA_RESPONSE_HEADER_BYTES)
-        yield from self.fabric.deliver(endpoint.host, client_host, resp_bytes,
-                                       trace=trace)
+        corrupted = yield from self.fabric.deliver(endpoint.host, client_host,
+                                                   resp_bytes, trace=trace)
+        if corrupted:
+            # The flip lands in whichever section dominates the response:
+            # the data copy when the scan hit, the bucket otherwise.
+            if data:
+                data = self._maybe_corrupt(data, corrupted)
+            else:
+                bucket = self._maybe_corrupt(bucket, corrupted)
         rx = trace.child("nic.rx")
         yield from self.engine_group(client_host).serve(
             self.cost.client_rx + self._payload_cost(resp_bytes))

@@ -55,9 +55,10 @@ class RdmaTransport(Transport):
         window = self._resolve_or_fail(endpoint, region_id)
         data = window.read(offset, size)  # the snapshot instant
         serve_span.finish()
-        yield from self.fabric.deliver(endpoint.host, client_host,
-                                       len(data) + RMA_RESPONSE_HEADER_BYTES,
-                                       trace=trace)
+        corrupted = yield from self.fabric.deliver(
+            endpoint.host, client_host,
+            len(data) + RMA_RESPONSE_HEADER_BYTES, trace=trace)
+        data = self._maybe_corrupt(data, corrupted)
         rx = trace.child("nic.rx")
         yield from client_host.execute(self.cost.client_poll_cpu,
                                        "rma-client")

@@ -1,0 +1,180 @@
+"""Gray failures: loss, corruption, and slow links — and the reactions.
+
+Unlike a crash, a gray failure leaves the backend up but the path to it
+lying: packets vanish, payloads arrive flipped, RTTs balloon. These
+tests degrade links with :class:`~repro.net.LinkFault` and assert the
+reaction machinery does its job: checksum validation catches corruption
+(never a wrong HIT), the retry budget sheds amplification under
+sustained failure, and the health scoreboard quarantines lossy backends
+while quorum ops keep serving.
+"""
+
+import pytest
+
+from repro.core import (Cell, CellSpec, ClientConfig, GetStatus,
+                        GetStrategy, ReplicationMode, SetStatus)
+from repro.net import LinkFault
+
+KEYS = 8
+
+
+def build(num_shards=3):
+    return Cell(CellSpec(mode=ReplicationMode.R3_2, num_shards=num_shards,
+                         transport="pony"))
+
+
+def seed_keys(cell, client):
+    def app():
+        for i in range(KEYS):
+            result = yield from client.set(b"gray-%d" % i, b"value-%d" % i)
+            assert result.status is SetStatus.APPLIED
+    cell.sim.run(until=cell.sim.process(app()))
+
+
+def test_corruption_is_caught_by_checksum_validation():
+    """Flipped RMA payloads must never surface as HITs of garbage; the
+    checksum catches them, the client retries, and the fabric counts
+    every corrupted delivery."""
+    cell = build()
+    client = cell.connect_client(client_config=ClientConfig(
+        max_retries=16, default_deadline=20e-3))
+    seed_keys(cell, client)
+
+    # Corrupt ~60% of deliveries touching the client's host: every RMA
+    # response the client reads is at risk, so torn reads are guaranteed
+    # at volume while enough clean attempts get through to HIT.
+    cell.fabric.degrade_host(client.host,
+                             LinkFault(corrupt_probability=0.6))
+
+    def reads():
+        hits = 0
+        for round_ in range(20):
+            for i in range(KEYS):
+                result = yield from client.get(b"gray-%d" % i)
+                if result.status is GetStatus.HIT:
+                    assert result.value == b"value-%d" % i
+                    hits += 1
+        return hits
+
+    hits = cell.sim.run(until=cell.sim.process(reads()))
+    assert hits > 0
+    assert client.stats["torn_reads"] > 0, \
+        "corruption never reached checksum validation"
+    assert cell.metrics.total("cliquemap_fabric_corrupted_total") > 0
+    assert client.stats["retries"] > 0
+
+    # Healed link: reads are clean again.
+    cell.fabric.clear_host_fault(client.host)
+
+    def clean_reads():
+        for i in range(KEYS):
+            result = yield from client.get(b"gray-%d" % i)
+            assert result.status is GetStatus.HIT
+    cell.sim.run(until=cell.sim.process(clean_reads()))
+
+
+def test_retry_budget_caps_retry_amplification():
+    """With every backend unreachable, a drained token bucket sheds
+    further retries: ops fail fast with a distinct reason instead of
+    hammering the cohort until the deadline."""
+    cell = build()
+    client = cell.connect_client(client_config=ClientConfig(
+        max_retries=1000, default_deadline=50e-3,
+        retry_budget_capacity=4.0, retry_budget_fill_rate=0.0))
+    seed_keys(cell, client)
+    for backend in cell.serving_backends():
+        cell.fabric.partition(client.host, backend.host)
+
+    def app():
+        results = []
+        for i in range(KEYS):
+            result = yield from client.get(b"gray-%d" % i)
+            results.append(result)
+        return results
+
+    results = cell.sim.run(until=cell.sim.process(app()))
+    assert all(r.status is GetStatus.ERROR for r in results)
+    # Exactly 4 tokens existed; every further retry was shed.
+    assert client.stats["retries"] <= 4 + KEYS  # paid + one free per op
+    assert client.stats["retries_shed"] > 0
+    assert "budget-exhausted" in {r.error for r in results}
+    assert cell.metrics.total("cliquemap_retries_shed_total") > 0
+    assert cell.metrics.total("cliquemap_retries_shed_total") == \
+        client.stats["retries_shed"]
+
+
+def test_slow_link_stretches_latency_and_is_counted():
+    cell = build()
+    client = cell.connect_client(client_config=ClientConfig(
+        default_deadline=50e-3))
+    seed_keys(cell, client)
+
+    def timed_reads():
+        total = 0.0
+        for i in range(KEYS):
+            result = yield from client.get(b"gray-%d" % i)
+            assert result.status is GetStatus.HIT
+            total += result.latency
+        return total
+
+    baseline = cell.sim.run(until=cell.sim.process(timed_reads()))
+    cell.fabric.degrade_host(client.host,
+                             LinkFault(latency_multiplier=8.0))
+    slowed = cell.sim.run(until=cell.sim.process(timed_reads()))
+    assert slowed > 2.0 * baseline, \
+        f"slow link had no effect: {baseline=} {slowed=}"
+    assert cell.metrics.total("cliquemap_fabric_slowed_total") > 0
+
+
+def test_lossy_backend_is_quarantined_while_quorum_keeps_serving():
+    """A backend whose link eats every packet should trip the health
+    scoreboard into quarantine; R=3.2 quorum ops keep answering from
+    the other two replicas."""
+    cell = build()
+    client = cell.connect_client(
+        strategy=GetStrategy.TWO_R,
+        client_config=ClientConfig(max_retries=8, default_deadline=20e-3))
+    seed_keys(cell, client)
+
+    victim = cell.serving_backends()[0]
+    cell.fabric.degrade(client.host, victim.host,
+                        LinkFault(loss_probability=1.0))
+
+    def reads():
+        hits = 0
+        for round_ in range(10):
+            for i in range(KEYS):
+                result = yield from client.get(b"gray-%d" % i)
+                if result.status is GetStatus.HIT:
+                    assert result.value == b"value-%d" % i
+                    hits += 1
+        return hits
+
+    hits = cell.sim.run(until=cell.sim.process(reads()))
+    assert hits == 10 * KEYS, "quorum should mask one lossy replica"
+    assert cell.metrics.total("cliquemap_backend_quarantine_total",
+                              event="enter") > 0
+    assert cell.metrics.total("cliquemap_fabric_dropped_total",
+                              reason="loss") > 0
+    health = client.backend_health(victim.task_name)
+    assert health is not None
+    assert health.quarantines > 0
+
+
+def test_link_fault_validation_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        LinkFault(loss_probability=1.5)
+    with pytest.raises(ValueError):
+        LinkFault(corrupt_probability=-0.1)
+    with pytest.raises(ValueError):
+        LinkFault(latency_multiplier=0.5)
+
+
+def test_link_faults_stack_via_combine():
+    a = LinkFault(loss_probability=0.5, latency_multiplier=2.0)
+    b = LinkFault(loss_probability=0.5, corrupt_probability=0.25,
+                  latency_multiplier=3.0)
+    c = a.combine(b)
+    assert c.loss_probability == pytest.approx(0.75)
+    assert c.corrupt_probability == pytest.approx(0.25)
+    assert c.latency_multiplier == pytest.approx(6.0)

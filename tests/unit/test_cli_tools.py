@@ -11,7 +11,18 @@ def test_parser_lists_all_commands():
                if hasattr(a, "choices") and a.choices)
     assert set(sub.choices) == {"quickstart", "ads", "geo", "drill",
                                 "snapshot", "metrics", "model-check",
-                                "trace"}
+                                "trace", "chaos"}
+
+
+def test_chaos_command(capsys):
+    assert main(["chaos", "--seed", "1", "--duration", "0.6",
+                 "--settle", "1.0"]) == 0
+    out = capsys.readouterr().out
+    assert "fault plan (seed=1)" in out
+    assert "injected faults" in out
+    assert "reactions" in out
+    assert "cliquemap_faults_injected_total" in out
+    assert "invariants hold" in out
 
 
 def test_quickstart_command(capsys):
