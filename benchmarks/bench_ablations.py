@@ -22,7 +22,7 @@ from _common import drive, key_with_primary_shard, measure_gets, preload_keys, r
 
 from repro.analysis import render_table
 from repro.core import (BackendConfig, Cell, CellSpec, ClientConfig,
-                        GetStatus, LookupStrategy, ReplicationMode)
+                        LookupStrategy, ReplicationMode)
 from repro.sim import RandomStream, ZipfSampler
 
 

@@ -16,8 +16,8 @@ sys.path.insert(0, str(Path(__file__).parent))
 from _common import drive, run_once
 
 from repro.analysis import render_table
-from repro.core import (Cell, CellSpec, LookupStrategy, ReplicationMode)
-from repro.shims import PROFILES, make_shim
+from repro.core import Cell, CellSpec, ReplicationMode
+from repro.shims import make_shim
 
 LANGUAGES = ["cpp", "java", "go", "py"]
 WORKERS = 4

@@ -12,11 +12,11 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _common import drive, key_with_primary_shard, measure_gets, preload_keys, run_once
+from _common import (key_with_primary_shard, measure_gets, preload_keys,
+                     run_once)
 
 from repro.analysis import render_table
-from repro.core import (Cell, CellSpec, LookupStrategy, ReplicationMode)
-from repro.net import gbps
+from repro.core import Cell, CellSpec, LookupStrategy, ReplicationMode
 
 VALUE_BYTES = 4096
 OPS = 300

@@ -13,7 +13,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _common import drive, measure_gets, preload_keys, run_once
+from _common import measure_gets, preload_keys, run_once
 
 from repro.analysis import render_table
 from repro.core import (BackendConfig, Cell, CellSpec, LookupStrategy,

@@ -23,7 +23,7 @@ from _common import drive, run_once
 
 from repro.analysis import render_table
 from repro.core import (BackendConfig, Cell, CellSpec, GetStatus,
-                        LookupStrategy, ReplicationMode, SetStatus)
+                        LookupStrategy, ReplicationMode)
 from repro.rpc import ProtocolVersion
 from repro.shims import make_shim
 

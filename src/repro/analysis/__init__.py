@@ -2,6 +2,8 @@
 
 from .dashboard import (BackendSnapshot, CellSnapshot, ClientSnapshot,
                         snapshot_cell)
+from .perf import (run_multiget_benchmark, render_multiget_table,
+                   write_bench_json)
 from .reporting import (render_metrics, render_percentile_lines,
                         render_series, render_table)
 from .stats import (CounterSeries, LatencyRecorder, TimeSeries, cdf_points,
@@ -13,4 +15,5 @@ __all__ = [
     "render_table",
     "CounterSeries", "LatencyRecorder", "TimeSeries", "cdf_points",
     "cpu_ns_per_op", "cpu_us_per_op",
+    "run_multiget_benchmark", "render_multiget_table", "write_bench_json",
 ]

@@ -1,0 +1,154 @@
+"""Perf-trajectory harness: batched vs singleton multi-key GETs (§7.1).
+
+The repo's perf trajectory is a series of ``BENCH_*.json`` files, one per
+optimization, each produced by a deterministic simulated experiment. This
+module provides the first datapoint: the wire-level batched ``get_multi``
+path against a loop of singleton GETs, comparing per-key engine/NIC CPU
+and per-key latency on the same topology.
+
+Determinism: both arms build a fresh :class:`~repro.core.Cell` from the
+same seed, so the comparison is exact and reproducible — no wall-clock
+anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from ..core import Cell, CellSpec, GetStatus
+
+# Which CPU-ledger component carries the transport's dataplane cost.
+# Pony engines charge both sides; hardware transports charge only the
+# client's submit/poll CPU (the server path has no software).
+ENGINE_COMPONENTS: Dict[str, tuple] = {
+    "pony": ("pony",),
+    "rdma": ("rma-client",),
+    "1rma": ("rma-client",),
+}
+
+
+def _engine_cpu(hosts, components) -> float:
+    return sum(host.ledger.seconds(component)
+               for host in hosts for component in components)
+
+
+def _build_cell(transport: str, num_shards: int, seed: int):
+    cell = Cell(CellSpec(transport=transport, num_shards=num_shards,
+                         seed=seed))
+    client = cell.connect_client(strategy="2xr")
+    return cell, client
+
+
+def _preload(cell, client, keys: List[bytes], value_bytes: int) -> None:
+    def setup():
+        for key in keys:
+            result = yield from client.set(key, bytes(value_bytes))
+            assert result.ok, (key, result)
+
+    cell.sim.run(until=cell.sim.process(setup()))
+
+
+def run_multiget_benchmark(num_keys: int = 32, transport: str = "pony",
+                           value_bytes: int = 128, num_shards: int = 6,
+                           seed: int = 1) -> Dict:
+    """Measure batched ``get_multi`` against ``num_keys`` singleton GETs.
+
+    Returns a JSON-ready dict with per-key engine CPU and latency for
+    both arms plus the batched/singleton speedup ratios.
+    """
+    components = ENGINE_COMPONENTS[transport]
+    keys = [b"mk-%05d" % i for i in range(num_keys)]
+
+    # Arm 1: singleton GETs, issued sequentially so the mean per-key
+    # latency is the undisturbed 2xR op latency.
+    cell_s, client_s = _build_cell(transport, num_shards, seed)
+    _preload(cell_s, client_s, keys, value_bytes)
+    hosts_s = [client_s.host] + [b.host for b in cell_s.backends.values()]
+    cpu_before = _engine_cpu(hosts_s, components)
+    latencies: List[float] = []
+
+    def singleton_loop():
+        for key in keys:
+            result = yield from client_s.get(key)
+            assert result.status is GetStatus.HIT, (key, result)
+            latencies.append(result.latency)
+
+    cell_s.sim.run(until=cell_s.sim.process(singleton_loop()))
+    singleton_cpu = (_engine_cpu(hosts_s, components) -
+                     cpu_before) / num_keys
+    singleton_latency = sum(latencies) / num_keys
+    singleton_reads = cell_s.transport.counters.reads
+    cell_s.close()
+
+    # Arm 2: one batched get_multi over the same keys on a fresh,
+    # identically-seeded cell.
+    cell_b, client_b = _build_cell(transport, num_shards, seed)
+    _preload(cell_b, client_b, keys, value_bytes)
+    hosts_b = [client_b.host] + [b.host for b in cell_b.backends.values()]
+    cpu_before = _engine_cpu(hosts_b, components)
+    started = cell_b.sim.now
+    results = cell_b.sim.run(
+        until=cell_b.sim.process(client_b.get_multi(keys)))
+    batch_elapsed = cell_b.sim.now - started
+    batched_cpu = (_engine_cpu(hosts_b, components) - cpu_before) / num_keys
+    batched_latency = batch_elapsed / num_keys
+    for key, result in zip(keys, results):
+        assert result.status is GetStatus.HIT, (key, result)
+    counters = cell_b.transport.counters
+    fallbacks = cell_b.metrics.total("cliquemap_batch_fallback_total")
+    cell_b.close()
+
+    return {
+        "benchmark": "multiget",
+        "transport": transport,
+        "num_keys": num_keys,
+        "value_bytes": value_bytes,
+        "num_shards": num_shards,
+        "seed": seed,
+        "singleton": {
+            "engine_cpu_per_key_us": singleton_cpu * 1e6,
+            "latency_per_key_us": singleton_latency * 1e6,
+            "transport_reads": singleton_reads,
+        },
+        "batched": {
+            "engine_cpu_per_key_us": batched_cpu * 1e6,
+            "latency_per_key_us": batched_latency * 1e6,
+            "transport_reads": counters.reads,
+            "batched_reads": counters.batched_reads,
+            "batched_keys": counters.batched_keys,
+            "fallback_keys": fallbacks,
+        },
+        "engine_cpu_speedup": singleton_cpu / batched_cpu,
+        "latency_speedup": singleton_latency / batched_latency,
+    }
+
+
+def write_bench_json(result: Dict, path: str) -> None:
+    """Write one perf datapoint where the trajectory tooling expects it."""
+    with open(path, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def render_multiget_table(result: Dict) -> str:
+    """A small human-readable summary of one multiget datapoint."""
+    lines = [
+        f"multiget benchmark — transport={result['transport']} "
+        f"keys={result['num_keys']}",
+        f"  singleton: {result['singleton']['engine_cpu_per_key_us']:.3f} "
+        f"us CPU/key, {result['singleton']['latency_per_key_us']:.2f} "
+        f"us latency/key",
+        f"  batched:   {result['batched']['engine_cpu_per_key_us']:.3f} "
+        f"us CPU/key, {result['batched']['latency_per_key_us']:.2f} "
+        f"us latency/key",
+        f"  speedup:   {result['engine_cpu_speedup']:.2f}x engine CPU, "
+        f"{result['latency_speedup']:.2f}x latency",
+    ]
+    return "\n".join(lines)
+
+
+__all__ = [
+    "ENGINE_COMPONENTS", "run_multiget_benchmark", "write_bench_json",
+    "render_multiget_table",
+]

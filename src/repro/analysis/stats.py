@@ -8,7 +8,6 @@ time, op-rate series, CPU-per-op, and CDFs.
 from __future__ import annotations
 
 import math
-from bisect import bisect_right, insort
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..sim import percentile

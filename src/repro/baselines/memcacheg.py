@@ -15,14 +15,14 @@ from __future__ import annotations
 
 import itertools
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
 
 from ..net import Fabric, FabricConfig, Host, HostConfig
 from ..rpc import (HandlerContext, Principal, RpcError, RpcServer,
                    connect as rpc_connect)
 from ..sim import Simulator
-from ..core.hashing import Placement, default_key_hash
+from ..core.hashing import default_key_hash
 
 
 @dataclass

@@ -13,7 +13,7 @@ then checksum), so a concurrent RMA read genuinely observes a torn entry.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Tuple
 
 from ..net import Host
@@ -60,6 +60,10 @@ class BackendConfig:
     touch_cpu_per_record: float = 0.08e-6
     scan_cpu_per_entry: float = 0.05e-6
     per_kilobyte_cpu: float = 0.10e-6
+    # Each extra entry of a batched MultiSet/MultiLookup RPC: the request
+    # dispatch is paid once, so additional entries are much cheaper than
+    # standalone ops (§7.1 backfill batching).
+    multi_entry_cpu: float = 0.5e-6
     old_window_grace: float = 20e-3
 
 
@@ -159,9 +163,11 @@ class Backend:
         for method, handler in (
                 ("Info", self._handle_info),
                 ("Set", self._handle_set),
+                ("MultiSet", self._handle_multi_set),
                 ("Erase", self._handle_erase),
                 ("Cas", self._handle_cas),
                 ("Lookup", self._handle_lookup),
+                ("MultiLookup", self._handle_multi_lookup),
                 ("Touch", self._handle_touch),
                 ("ScanSummary", self._handle_scan_summary),
                 ("RepairGet", self._handle_repair_get),
@@ -246,6 +252,35 @@ class Backend:
             self.stats.sets_superseded += 1
         return {"applied": applied, "reason": reason}
 
+    def _handle_multi_set(self, payload,
+                          context: HandlerContext) -> Generator:
+        """Batched SET: many client-nominated mutations in one RPC (§7.1).
+
+        The per-RPC dispatch CPU (``set_cpu``) is paid once; each extra
+        entry costs only ``multi_entry_cpu`` plus payload handling. Every
+        entry is applied independently and reported per-entry, so one
+        superseded or rejected entry never poisons its batch siblings.
+        """
+        entries = payload["entries"]
+        total_bytes = sum(len(key) + len(value)
+                          for key, value, _version in entries)
+        yield from self.host.execute(
+            self.config.set_cpu +
+            self.config.multi_entry_cpu * max(0, len(entries) - 1) +
+            total_bytes / 1024.0 * self.config.per_kilobyte_cpu,
+            self._component)
+        results = []
+        for key, value, version_bytes in entries:
+            applied, reason = yield from self._apply_set(
+                key, value, VersionNumber.unpack(version_bytes))
+            if applied:
+                self.stats.sets_applied += 1
+            else:
+                self.stats.sets_superseded += 1
+            results.append({"applied": applied, "reason": reason})
+        context.response_size_override = 32 + 16 * max(1, len(entries))
+        return {"results": results}
+
     def _handle_erase(self, payload, context: HandlerContext) -> Generator:
         key: bytes = payload["key"]
         version = VersionNumber.unpack(payload["version"])
@@ -304,6 +339,30 @@ class Backend:
         value, version = found
         context.response_size_override = len(value) + 64
         return {"found": True, "value": value, "version": version.pack()}
+
+    def _handle_multi_lookup(self, payload,
+                             context: HandlerContext) -> Generator:
+        """Batched two-sided lookup: the RPC-strategy analog of MultiSet."""
+        keys: List[bytes] = payload["keys"]
+        yield from self.host.execute(
+            self.config.lookup_cpu +
+            self.config.multi_entry_cpu * max(0, len(keys) - 1),
+            self._component)
+        self.stats.rpc_lookups += len(keys)
+        results = []
+        response_bytes = 0
+        for key in keys:
+            found = self.lookup_local(key)
+            if found is None:
+                results.append({"found": False})
+                continue
+            value, version = found
+            response_bytes += len(value) + 64
+            results.append({"found": True, "value": value,
+                            "version": version.pack()})
+        context.response_size_override = max(
+            32, response_bytes + 16 * len(keys))
+        return {"results": results}
 
     def _handle_touch(self, payload, context: HandlerContext) -> Generator:
         """Ingest batched client access records to drive eviction (§4.2)."""

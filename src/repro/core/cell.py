@@ -10,7 +10,7 @@ object examples and benchmarks build.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, List, Optional
+from typing import Dict, List, Optional
 
 from ..net import Fabric, FabricConfig, Host, HostConfig
 from ..rpc import Acl, Principal
@@ -87,6 +87,8 @@ class Cell:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(clock=lambda: self.sim.now)
         self.fabric.registry = self.metrics
+        if self.transport is not None:
+            self.transport.registry = self.metrics
 
         self.backends: Dict[str, Backend] = {}
         self.scanners: Dict[str, RepairScanner] = {}
@@ -135,18 +137,19 @@ class Cell:
 
     def _build_writer_acl(self) -> Acl:
         acl = Acl()
-        for method in ("Set", "Erase", "Cas"):
+        for method in ("Set", "MultiSet", "Erase", "Cas"):
             for principal in self.spec.writer_principals:
                 acl.allow(method, principal)
         # Internal machinery: repairs, migrations, corpus loaders.
-        for method in ("Set", "Erase", "Cas", "MigrateIn"):
+        for method in ("Set", "MultiSet", "Erase", "Cas", "MigrateIn"):
             acl.allow_prefix(method, "repair@")
             acl.allow_prefix(method, "migrate@")
             acl.allow(method, "loader")
         # Reads / metadata / maintenance stay open to any authenticated
         # principal (matching the paper's per-RPC ACL posture).
-        for method in ("Info", "Lookup", "Touch", "ScanSummary",
-                       "RepairGet", "Defragment", "MigrateIn"):
+        for method in ("Info", "Lookup", "MultiLookup", "Touch",
+                       "ScanSummary", "RepairGet", "Defragment",
+                       "MigrateIn"):
             acl.allow_prefix(method, "")
         return acl
 

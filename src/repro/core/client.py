@@ -27,12 +27,11 @@ from typing import Callable, Dict, Generator, List, Optional, Tuple
 from ..net import Fabric, Host, NetworkDropError
 from ..rpc import (PermissionDeniedError, Principal, RpcChannel, RpcError,
                    connect as rpc_connect)
-from ..sim import RandomStream, Simulator
+from ..sim import Interrupt, RandomStream, Simulator
 from ..telemetry import (NULL_SPAN, MetricsRegistry, TraceContext, Tracer)
 from ..transport import (RegionRevokedError, RemoteHostDownError, RmaError,
                          Transport)
-from .config import (CellConfig, ConfigStore, GetStrategy, LookupStrategy,
-                     ReplicationMode)
+from .config import CellConfig, ConfigStore, GetStrategy, ReplicationMode
 from .data import try_decode
 from .errors import CliqueMapError, GetStatus, SetStatus
 from .hashing import Placement
@@ -298,6 +297,15 @@ class CliqueMapClient:
         self._m_quarantine = self.metrics.counter(
             "cliquemap_backend_quarantine_total",
             "Backend quarantine transitions by task and event (enter/exit)")
+        self._m_batch_size = self.metrics.histogram(
+            "cliquemap_batch_size_keys",
+            "Keys per batched multi-key client operation")
+        self._m_batch_keys = self.metrics.counter(
+            "cliquemap_client_batch_keys_total",
+            "Keys resolved on the batched fast path, by op")
+        self._m_batch_fallback = self.metrics.counter(
+            "cliquemap_batch_fallback_total",
+            "Batch keys diverted to the singleton retry path, by op/reason")
 
     # ------------------------------------------------------------------
     # Connection management
@@ -455,8 +463,13 @@ class CliqueMapClient:
                         if view is None or (not view.health.connected and
                                             not view.health.quarantined):
                             yield from self._build_view(task)
-                delay = min(backoff.next_delay(),
-                            max(0.0, deadline_at - self.sim.now))
+                delay = backoff.next_delay()
+                if self.sim.now + delay >= deadline_at:
+                    # The backoff would sleep past the deadline; stop now
+                    # instead of burning the remaining attempts in a
+                    # zero-delay spin at the deadline instant.
+                    recovery.finish()
+                    break
                 if delay:
                     yield self.sim.timeout(delay)
                 recovery.finish()
@@ -498,9 +511,386 @@ class CliqueMapClient:
 
     def get_multi(self, keys: List[bytes],
                   deadline: Optional[float] = None) -> Generator:
-        """Batched lookup: all keys in parallel, returns aligned results."""
-        procs = [self.sim.process(self.get(key, deadline)) for key in keys]
+        """Batched lookup; returns a result list aligned with ``keys``.
+
+        On RMA strategies (2xR/SCAR) the batch takes the wire-level fast
+        path (§7.1): keys are grouped by replica backend, each backend
+        gets *one* coalesced index fetch carrying every wanted bucket
+        address, quorum is evaluated per key over the scattered votes,
+        and data is fetched per key from its first responder. Keys the
+        fast path cannot settle — inquorate, stale view, failed
+        validation, a quarantined cohort — fall back to the singleton
+        :meth:`get` retry machinery *individually*, so one poisoned or
+        slow key never aborts its batch siblings.
+        """
+        if not keys:
+            return []
+        if len(keys) >= 2 and self.cell is not None:
+            if self.strategy in (GetStrategy.TWO_R, GetStrategy.SCAR) and \
+                    self.transport is not None and \
+                    self.cell.mode is not ReplicationMode.R2_IMMUTABLE:
+                return (yield from self._batched_get_multi(keys, deadline))
+            if self.strategy is GetStrategy.RPC:
+                return (yield from self._rpc_get_multi(keys, deadline))
+        return (yield from self._fanout_get_multi(keys, deadline))
+
+    def _fanout_get_multi(self, keys: List[bytes],
+                          deadline: Optional[float]) -> Generator:
+        """Per-key parallel fan-out, with per-key failure isolation."""
+        procs = [self.sim.process(self._isolate(self.get(key, deadline),
+                                                self._get_error_result))
+                 for key in keys]
         results = yield self.sim.all_of(procs)
+        return results
+
+    @staticmethod
+    def _get_error_result(exc: Exception) -> "GetResult":
+        return GetResult(GetStatus.ERROR,
+                         error=f"unhandled-{type(exc).__name__}")
+
+    @staticmethod
+    def _mutation_error_result(exc: Exception) -> "MutationResult":
+        return MutationResult(SetStatus.FAILED,
+                              error=f"unhandled-{type(exc).__name__}")
+
+    def _isolate(self, gen: Generator, on_error) -> Generator:
+        """Contain one key's failure to its own slot of a batch.
+
+        ``sim.all_of`` fails the whole condition on the first child
+        failure, discarding sibling results; batches instead map an
+        unhandled per-key exception to that key's error result.
+        """
+        try:
+            return (yield from gen)
+        except Interrupt:
+            raise
+        except Exception as exc:
+            return on_error(exc)
+
+    def _batched_get_multi(self, keys: List[bytes],
+                           deadline: Optional[float]) -> Generator:
+        """The wire-level batched GET path (§7.1)."""
+        started = self.sim.now
+        deadline_at = started + (deadline or self.config.default_deadline)
+        n = len(keys)
+        quorum = self.cell.mode.quorum
+        self._m_batch_size.labels(op="get_multi").observe(n)
+        root = self.tracer.start("get_multi", client=self.client_id, batch=n)
+
+        key_hashes = [self.placement.key_hash(key) for key in keys]
+        results: List[Optional[GetResult]] = [None] * n
+        fallback: Dict[int, str] = {}
+
+        # Group every (key, bucket address) by backend task so each
+        # backend serves exactly one coalesced fetch for the whole batch.
+        cohorts: List[List[BackendView]] = []
+        per_view: Dict[str, List[Tuple[int, int]]] = {}
+        for i, key_hash in enumerate(key_hashes):
+            views = self._replica_views(key_hash)
+            cohorts.append(views)
+            if len(views) < quorum:
+                fallback[i] = "no-healthy-replicas"
+                continue
+            for view in views:
+                _bucket, offset = self._bucket_location(view, key_hash)
+                per_view.setdefault(view.task, []).append((i, offset))
+
+        votes: List[List[ReplicaVote]] = [[] for _ in keys]
+        stale: List[List[str]] = [[] for _ in keys]
+        overflow_seen: List[List[bool]] = [[False] for _ in keys]
+        config_mismatch = [False] * n
+        decisions: List[QuorumDecision] = [
+            QuorumDecision(QuorumOutcome.UNDECIDED) for _ in keys]
+        asked = [len(cohort) for cohort in cohorts]
+
+        index_span = root.child("index", batch=n, backends=len(per_view))
+        pending: Dict[object, Tuple[BackendView, List[Tuple[int, int]]]] = {}
+        for task, entries in per_view.items():
+            view = self._views[task]
+            proc = self.sim.process(self._fetch_index_batch(
+                view, [offset for _i, offset in entries], index_span))
+            pending[proc] = (view, entries)
+
+        data_span = root.child("data", batch=n)
+        data_procs: Dict[object, Tuple[int, str]] = {}
+        fetching: set = set()
+
+        def start_data_fetch(i: int) -> None:
+            decision = decisions[i]
+            task = None
+            if self.config.force_primary_data_fetch:
+                for view in cohorts[i]:
+                    if decision.includes(view.task):
+                        task = view.task
+                        break
+            else:
+                for vote in votes[i]:
+                    if vote.kind is VoteKind.PRESENT and \
+                            decision.includes(vote.task):
+                        task = vote.task
+                        break
+            if task is None:
+                task = decision.members[0]
+            entry = next(v.entry for v in votes[i]
+                         if v.task == task and v.kind is VoteKind.PRESENT)
+            proc = self.sim.process(self._fetch_data(
+                self._views[task], entry, data_span))
+            data_procs[proc] = (i, task)
+            fetching.add(i)
+
+        # Drain the coalesced index fetches as they land, evaluating each
+        # key's quorum incrementally so its data fetch starts the instant
+        # its first responders agree — exactly like the singleton path,
+        # but over scattered votes.
+        while pending:
+            event, items = yield self.sim.any_of(list(pending))
+            view, entries = pending.pop(event)
+            for (i, _offset), item in zip(entries, items):
+                vote = self._vote_from(view, item, stale[i], key_hashes[i],
+                                       overflow_seen[i])
+                if item[0] == "config":
+                    config_mismatch[i] = True
+                votes[i].append(vote)
+                self.host.charge_inline(self.config.costs.quorum_cpu,
+                                        "cliquemap-client")
+                if decisions[i].outcome is not QuorumOutcome.UNDECIDED:
+                    continue  # this key already settled
+                decisions[i] = evaluate(votes[i], asked[i], quorum)
+                if decisions[i].outcome is QuorumOutcome.PRESENT:
+                    if self.config.force_primary_data_fetch and not any(
+                            v.task == cohorts[i][0].task for v in votes[i]):
+                        # Primary/backup ablation: await the primary.
+                        decisions[i] = QuorumDecision(
+                            QuorumOutcome.UNDECIDED)
+                        continue
+                    start_data_fetch(i)
+        index_span.finish()
+
+        def finish_key(i: int, status: GetStatus, value, version) -> None:
+            latency = self.sim.now - started
+            if status is GetStatus.HIT:
+                self.stats["hits"] += 1
+            else:
+                self.stats["misses"] += 1
+            self.stats["gets"] += 1
+            self._m_batch_keys.labels(op="get").inc()
+            status_str = "hit" if status is GetStatus.HIT else "miss"
+            self._m_ops.labels(op="get", status=status_str).inc()
+            self._m_latency.labels(op="get", strategy="batched").observe(
+                latency)
+            results[i] = GetResult(status, value=value, version=version,
+                                   latency=latency,
+                                   trace=TraceContext(root) if root else None)
+
+        # Keys still undecided after every vote arrived, plus misses.
+        overflow_procs: Dict[object, int] = {}
+        for i in range(n):
+            if i in fallback or results[i] is not None:
+                continue
+            if decisions[i].outcome is QuorumOutcome.UNDECIDED:
+                decisions[i] = evaluate(votes[i], len(votes[i]), quorum)
+                if decisions[i].outcome is QuorumOutcome.PRESENT and \
+                        i not in fetching:
+                    start_data_fetch(i)
+            outcome = decisions[i].outcome
+            if outcome is QuorumOutcome.PRESENT:
+                continue  # data fetch in flight
+            if outcome is QuorumOutcome.ABSENT:
+                if self.config.overflow_rpc_lookup and overflow_seen[i][0]:
+                    view_by_task = {v.task: v for v in cohorts[i]}
+                    proc = self.sim.process(self._isolate(
+                        self._maybe_overflow_lookup(
+                            keys[i], view_by_task, True, root),
+                        lambda _exc: (GetStatus.MISS, None, None)))
+                    overflow_procs[proc] = i
+                else:
+                    finish_key(i, GetStatus.MISS, None, None)
+            elif config_mismatch[i]:
+                fallback[i] = "config-mismatch"
+            elif stale[i]:
+                fallback[i] = "stale-view"
+            else:
+                fallback[i] = "inquorate"
+
+        while data_procs:
+            event, outcome = yield self.sim.any_of(list(data_procs))
+            i, task = data_procs.pop(event)
+            try:
+                status, value, version = self._validate_data(
+                    keys[i], key_hashes[i], outcome, decisions[i],
+                    stale[i], task)
+            except _AttemptRetry as retry:
+                fallback[i] = retry.reason
+                continue
+            if status is GetStatus.HIT:
+                self._note_touch(key_hashes[i])
+                value = yield from self._decode_value(value)
+            finish_key(i, status, value, version)
+        data_span.finish()
+
+        while overflow_procs:
+            event, outcome = yield self.sim.any_of(list(overflow_procs))
+            i = overflow_procs.pop(event)
+            status, value, version = outcome
+            if status is GetStatus.HIT:
+                self._note_touch(key_hashes[i])
+                value = yield from self._decode_value(value)
+            finish_key(i, status, value, version)
+
+        if fallback:
+            yield from self._finish_batch_fallback(
+                "get_multi", keys, results, fallback, started, deadline_at,
+                config_mismatch, stale)
+        root.annotate(resolved=n - len(fallback),
+                      fallback=len(fallback)).finish()
+        if root:
+            self.tracer.record(root)
+        return results
+
+    def _finish_batch_fallback(self, op: str, keys: List[bytes],
+                               results: List[Optional[GetResult]],
+                               fallback: Dict[int, str], started: float,
+                               deadline_at: float,
+                               config_mismatch: List[bool],
+                               stale: List[List[str]]) -> Generator:
+        """Run the singleton retry path for each unsettled batch key."""
+        for reason in fallback.values():
+            self._m_batch_fallback.labels(op=op, reason=reason).inc()
+        # Recover shared state once, up front, so the per-key singletons
+        # start from fresh views instead of each re-discovering the same
+        # staleness (§4.1 retry procedure, amortized over the batch).
+        if any(config_mismatch[i] for i in fallback):
+            yield from self._refresh_config()
+        stale_tasks = {task for i in fallback for task in stale[i]}
+        for task in stale_tasks:
+            yield from self._build_view(task)
+        prefix = self.sim.now - started
+        remaining = max(1e-6, deadline_at - self.sim.now)
+        ordered = sorted(fallback)
+        procs = [self.sim.process(self._isolate(
+            self.get(keys[i], remaining), self._get_error_result))
+            for i in ordered]
+        outcomes = yield self.sim.all_of(procs)
+        for i, result in zip(ordered, outcomes):
+            result.latency += prefix  # account the batch phase too
+            results[i] = result
+
+    def _fetch_index_batch(self, view: BackendView, offsets: List[int],
+                           trace=NULL_SPAN) -> Generator:
+        """One coalesced index fetch; per-entry tagged outcomes.
+
+        Returns a list aligned with ``offsets`` of the same tuples
+        :meth:`_fetch_index` produces, so votes can be formed with
+        :meth:`_vote_from` unchanged. Never raises: a whole-batch
+        transport failure yields a ``down`` outcome for every entry.
+        """
+        self.host.charge_inline(self.config.costs.issue_op_cpu,
+                                "cliquemap-client")
+        op = trace.child("transport.read_multi", task=view.task,
+                         kind="index", batch=len(offsets))
+        try:
+            raw_items = yield from self.transport.read_multi(
+                self.host, view.host_name,
+                [(view.index_region_id, offset, view.bucket_bytes)
+                 for offset in offsets], trace=op)
+        except RegionRevokedError:
+            op.annotate(outcome="stale").finish()
+            return [("stale", view.task, None)] * len(offsets)
+        except (RemoteHostDownError, RmaError, NetworkDropError):
+            op.annotate(outcome="down").finish()
+            self._leg_down(view)
+            return [("down", view.task, None)] * len(offsets)
+        op.finish()
+        self.host.charge_inline(self.config.costs.completion_cpu,
+                                "cliquemap-client")
+        view.health.record_success()
+        items = []
+        for raw in raw_items:
+            if isinstance(raw, RegionRevokedError):
+                items.append(("stale", view.task, None))
+                continue
+            if isinstance(raw, RmaError):
+                items.append(("down", view.task, None))
+                continue
+            parsed = parse_bucket(raw, view.ways)
+            if not parsed.magic_ok:
+                items.append(("stale", view.task, None))
+            elif parsed.config_id != view.config_id:
+                items.append(("config", view.task, parsed.config_id))
+            else:
+                items.append(("ok", view.task, parsed))
+        return items
+
+    def _rpc_get_multi(self, keys: List[bytes],
+                       deadline: Optional[float]) -> Generator:
+        """Batched WAN/fallback lookup: one MultiLookup RPC per backend."""
+        started = self.sim.now
+        deadline_at = started + (deadline or self.config.default_deadline)
+        n = len(keys)
+        self._m_batch_size.labels(op="get_multi").observe(n)
+        root = self.tracer.start("get_multi", client=self.client_id,
+                                 batch=n, strategy="rpc")
+        results: List[Optional[GetResult]] = [None] * n
+        fallback: Dict[int, str] = {}
+        per_view: Dict[str, List[int]] = {}
+        for i, key in enumerate(keys):
+            views = self._replica_views(self.placement.key_hash(key))
+            if not views:
+                fallback[i] = "no-healthy-replicas"
+                continue
+            per_view.setdefault(views[0].task, []).append(i)
+
+        def one(view: BackendView, idxs: List[int]) -> Generator:
+            lookup_span = root.child("rpc-multilookup", task=view.task,
+                                     batch=len(idxs))
+            try:
+                reply = yield from view.channel.call(
+                    "MultiLookup", {"keys": [keys[i] for i in idxs]},
+                    deadline=max(1e-6, deadline_at - self.sim.now),
+                    request_size=sum(len(keys[i]) for i in idxs) + 64,
+                    trace=lookup_span)
+            except RpcError:
+                return None
+            finally:
+                lookup_span.finish()
+            view.health.record_success()
+            return reply.get("results", [])
+
+        procs = {self.sim.process(one(self._views[task], idxs)): idxs
+                 for task, idxs in per_view.items()}
+        while procs:
+            event, replies = yield self.sim.any_of(list(procs))
+            idxs = procs.pop(event)
+            if replies is None:
+                for i in idxs:
+                    fallback[i] = "rpc-replica-unavailable"
+                continue
+            latency = self.sim.now - started
+            for i, reply in zip(idxs, replies):
+                self.stats["gets"] += 1
+                self._m_batch_keys.labels(op="get").inc()
+                if reply.get("found"):
+                    self.stats["hits"] += 1
+                    self._m_ops.labels(op="get", status="hit").inc()
+                    value = yield from self._decode_value(reply["value"])
+                    results[i] = GetResult(
+                        GetStatus.HIT, value=value,
+                        version=VersionNumber.unpack(reply["version"]),
+                        latency=latency)
+                else:
+                    self.stats["misses"] += 1
+                    self._m_ops.labels(op="get", status="miss").inc()
+                    results[i] = GetResult(GetStatus.MISS, latency=latency)
+                self._m_latency.labels(op="get",
+                                       strategy="batched").observe(latency)
+        if fallback:
+            yield from self._finish_batch_fallback(
+                "get_multi", keys, results, fallback, started, deadline_at,
+                [False] * n, [[] for _ in keys])
+        root.annotate(resolved=n - len(fallback),
+                      fallback=len(fallback)).finish()
+        if root:
+            self.tracer.record(root)
         return results
 
     # -- one attempt ---------------------------------------------------------
@@ -1100,8 +1490,9 @@ class CliqueMapClient:
                 last.error = "budget-exhausted"
                 root.annotate(shed_retry=True)
                 break
-            delay = min(backoff.next_delay(),
-                        max(0.0, deadline_at - self.sim.now))
+            delay = backoff.next_delay()
+            if self.sim.now + delay >= deadline_at:
+                break  # would sleep past the deadline: no attempt left
             if delay:
                 yield self.sim.timeout(delay)
         root.finish()
@@ -1110,9 +1501,138 @@ class CliqueMapClient:
 
     def set_multi(self, items: List[Tuple[bytes, bytes]],
                   deadline: Optional[float] = None) -> Generator:
-        """Batched SETs in parallel (backfill jobs use this, §7.1)."""
-        procs = [self.sim.process(self.set(key, value, deadline))
-                 for key, value in items]
+        """Batched SETs; returns a result list aligned with ``items``.
+
+        Mutations to the same backend coalesce into one multi-entry
+        ``MultiSet`` RPC (backfill jobs depend on this, §7.1): the RPC
+        dispatch and the client's mutation CPU are paid once per
+        (backend, batch) instead of once per key. Quorum is still counted
+        per key, and keys that miss quorum retry through the singleton
+        :meth:`set` path without disturbing their siblings.
+        """
+        if not items:
+            return []
+        if len(items) < 2 or self.cell is None:
+            return (yield from self._fanout_set_multi(items, deadline))
+        started = self.sim.now
+        deadline_at = started + (deadline or self.config.default_deadline)
+        n = len(items)
+        quorum = self.cell.mode.quorum
+        self._m_batch_size.labels(op="set_multi").observe(n)
+        root = self.tracer.start("set_multi", client=self.client_id, batch=n)
+        # One mutation-build charge for the whole batch — the per-op CPU
+        # the coalesced path amortizes.
+        yield from self.host.execute(self.config.costs.mutation_cpu,
+                                     "cliquemap-client")
+        encoded: List[bytes] = []
+        versions: List[VersionNumber] = []
+        for _key, value in items:
+            encoded.append((yield from self._encode_value(value)))
+            versions.append(self.versions.next())
+
+        results: List[Optional[MutationResult]] = [None] * n
+        fallback: Dict[int, str] = {}
+        per_view: Dict[str, List[int]] = {}
+        for i, (key, _value) in enumerate(items):
+            views = self._replica_views(self.placement.key_hash(key))
+            if not views:
+                fallback[i] = "no-healthy-replicas"
+                continue
+            for view in views:
+                per_view.setdefault(view.task, []).append(i)
+        applied = [0] * n
+        superseded = [0] * n
+        span = root.child("mutate", method="MultiSet",
+                          backends=len(per_view))
+
+        def one(view: BackendView, idxs: List[int]) -> Generator:
+            entries = [[items[i][0], encoded[i], versions[i].pack()]
+                       for i in idxs]
+            size = sum(len(items[i][0]) + len(encoded[i])
+                       for i in idxs) + 64 + 24 * len(idxs)
+            try:
+                reply = yield from view.channel.call(
+                    "MultiSet", {"entries": entries},
+                    deadline=self.config.mutation_rpc_deadline,
+                    request_size=size, trace=span)
+                view.health.record_success()
+                return reply.get("results", [])
+            except PermissionDeniedError:
+                return None  # unauthorized: not retryable
+            except RpcError:
+                view_alive = self.directory(view.task).alive \
+                    if self.directory else True
+                if not view_alive:
+                    view.health.mark_down()
+                    self._start_reconnect(view.task)
+                else:
+                    view.health.record_failure()
+                return None
+
+        procs = {self.sim.process(self._isolate(
+            one(self._views[task], idxs), lambda _exc: None)): idxs
+            for task, idxs in per_view.items()}
+        while procs:
+            event, replies = yield self.sim.any_of(list(procs))
+            idxs = procs.pop(event)
+            if replies is None:
+                continue
+            for i, reply in zip(idxs, replies):
+                if reply.get("applied"):
+                    applied[i] += 1
+                elif reply.get("reason") == "superseded":
+                    superseded[i] += 1
+        span.finish()
+
+        for i in range(n):
+            if i in fallback:
+                continue
+            self.host.charge_inline(self.config.costs.quorum_cpu,
+                                    "cliquemap-client")
+            latency = self.sim.now - started
+            if applied[i] >= quorum:
+                status, status_str = SetStatus.APPLIED, "applied"
+            elif superseded[i] >= quorum:
+                status, status_str = SetStatus.SUPERSEDED, "superseded"
+            else:
+                fallback[i] = "inquorate"
+                continue
+            self.stats["sets"] += 1
+            self._m_batch_keys.labels(op="set").inc()
+            self._m_ops.labels(op="set", status=status_str).inc()
+            self._m_latency.labels(op="set", strategy="batched").observe(
+                latency)
+            results[i] = MutationResult(
+                status, version=versions[i], replicas_applied=applied[i],
+                latency=latency,
+                trace=TraceContext(root) if root else None)
+
+        if fallback:
+            for reason in fallback.values():
+                self._m_batch_fallback.labels(op="set_multi",
+                                              reason=reason).inc()
+            prefix = self.sim.now - started
+            remaining = max(1e-6, deadline_at - self.sim.now)
+            ordered = sorted(fallback)
+            procs_list = [self.sim.process(self._isolate(
+                self.set(items[i][0], items[i][1], remaining),
+                self._mutation_error_result)) for i in ordered]
+            outcomes = yield self.sim.all_of(procs_list)
+            for i, result in zip(ordered, outcomes):
+                result.latency += prefix
+                results[i] = result
+        root.annotate(resolved=n - len(fallback),
+                      fallback=len(fallback)).finish()
+        if root:
+            self.tracer.record(root)
+        return results
+
+    def _fanout_set_multi(self, items: List[Tuple[bytes, bytes]],
+                          deadline: Optional[float]) -> Generator:
+        """Per-key parallel fan-out, with per-key failure isolation."""
+        procs = [self.sim.process(self._isolate(
+            self.set(key, value, deadline), self._mutation_error_result))
+            for key, value in items]
         results = yield self.sim.all_of(procs)
         return results
 
@@ -1172,8 +1692,9 @@ class CliqueMapClient:
                 last.error = "budget-exhausted"
                 root.annotate(shed_retry=True)
                 break
-            delay = min(backoff.next_delay(),
-                        max(0.0, deadline_at - self.sim.now))
+            delay = backoff.next_delay()
+            if self.sim.now + delay >= deadline_at:
+                break  # would sleep past the deadline: no attempt left
             if delay:
                 yield self.sim.timeout(delay)
         root.finish()

@@ -13,7 +13,7 @@ from __future__ import annotations
 import copy
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, List
 
 from ..sim import Simulator
 from .errors import CliqueMapError

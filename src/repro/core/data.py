@@ -18,7 +18,7 @@ from typing import Optional, Tuple
 
 from ..transport import Arena, MemoryRegion
 from .checksum import CHECKSUM_BYTES, kv_checksum
-from .version import VERSION_BYTES, VersionNumber
+from .version import VersionNumber
 
 DATA_HEADER = struct.Struct("<II16s")  # key_len, data_len, version
 DATA_HEADER_BYTES = DATA_HEADER.size   # 24

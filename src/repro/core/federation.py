@@ -24,7 +24,7 @@ from ..sim import Simulator
 from .cell import Cell, CellSpec
 from .client import CliqueMapClient
 from .config import LookupStrategy
-from .errors import GetStatus, SetStatus
+from .errors import GetStatus
 
 
 @dataclass

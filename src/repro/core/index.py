@@ -23,8 +23,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
 from ..transport import Arena, MemoryRegion
-from .hashing import KEY_HASH_BYTES, key_hash_to_int
-from .version import VERSION_BYTES, VersionNumber
+from .version import VersionNumber
 
 BUCKET_MAGIC = 0xC11C3A90
 BUCKET_HEADER = struct.Struct("<IIII")     # magic, config_id, flags, reserved

@@ -11,7 +11,7 @@ prefer the first responder.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from .index import ParsedIndexEntry
@@ -92,7 +92,6 @@ def evaluate(votes: List[ReplicaVote], total_replicas: int,
         if len(tasks) >= quorum and len(tasks) > len(best_tasks):
             best_key, best_tasks = key, tuple(tasks)
     if best_tasks:
-        usable = sum(1 for v in votes if v.kind != VoteKind.ERROR)
         unanimous = (len(best_tasks) == total_replicas)
         if best_key is None:
             return QuorumDecision(QuorumOutcome.ABSENT, members=best_tasks,

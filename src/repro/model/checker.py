@@ -25,10 +25,10 @@ safety invariants the paper relied on TLA+ for (§5.1):
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
-from .state import ABSENT, QUORUM, REPLICAS, ModelState, Mutation
+from .state import ABSENT, QUORUM, REPLICAS, ModelState
 
 
 @dataclass

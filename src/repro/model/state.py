@@ -12,7 +12,7 @@ reachable space by breadth-first search.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Optional, Tuple
 
 REPLICAS = 3

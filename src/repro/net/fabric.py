@@ -151,7 +151,7 @@ class Fabric:
     # -- delivery -------------------------------------------------------------
 
     def deliver(self, src: Host, dst: Host, payload_bytes: int,
-                priority: int = 0, trace=None) -> Generator:
+                priority: int = 0, trace=None, parts: int = 1) -> Generator:
         """Move ``payload_bytes`` from ``src`` to ``dst`` (a generator).
 
         Completes when the last byte has been received; returns ``True``
@@ -161,9 +161,19 @@ class Fabric:
         delivery (src is dst) skips the NIC entirely. When ``trace`` (a
         telemetry span) is given, the delivery decomposes into
         egress-queueing, propagation, and ingress-queueing child spans.
+
+        ``parts`` declares how many logical operations this single
+        transfer coalesces (batched multi-key ops, §7.1): the wire cost is
+        still one transfer — that is the point — but the coalescing is
+        counted so dashboards can attribute fabric savings to batching.
         """
         span = (trace or NULL_SPAN).child("fabric.deliver", src=src.name,
                                           dst=dst.name, bytes=payload_bytes)
+        if parts > 1:
+            span.annotate(parts=parts)
+            self._count("cliquemap_fabric_coalesced_total",
+                        "Fabric transfers carrying a coalesced multi-op "
+                        "payload")
         try:
             if src is dst:
                 yield self.sim.timeout(1e-7)

@@ -15,13 +15,13 @@ Calls are generators driven inside simulation processes::
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, Optional
 
 from ..net import Fabric, Host, HostDownError, NetworkDropError
 from ..sim import Simulator
 from ..telemetry import NULL_SPAN
-from .auth import Acl, AuthConfig, Authenticator, PermissionDeniedError, Principal
+from .auth import Acl, AuthConfig, Authenticator, Principal
 from .wire import Message, ProtocolVersion
 
 

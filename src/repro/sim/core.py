@@ -280,6 +280,10 @@ class Simulator:
     # -- scheduling ------------------------------------------------------
 
     def _push(self, delay: float, action: Callable[[], None]) -> None:
+        if delay < 0:
+            # An entry before ``now`` would make simulated time run
+            # backwards for everyone already scheduled.
+            raise SimulationError(f"cannot schedule {delay!r}s in the past")
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, action))
 

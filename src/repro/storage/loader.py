@@ -10,11 +10,10 @@ most GETs, the second covers failures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, List
 
 from ..core import Cell, TrueTime, VersionFactory
 from ..rpc import Principal, RpcError, connect as rpc_connect
-from ..sim import Simulator
 from .sor import SystemOfRecord
 
 LOADER_CLIENT_ID = (1 << 24) + (1 << 20)

@@ -21,7 +21,7 @@ bound — the standard production defense against label explosions.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..sim import percentile
 

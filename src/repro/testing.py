@@ -8,7 +8,7 @@ to shards, and snapshotting CPU. Used by this repo's own benchmark suite
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Iterable, List, Sequence
+from typing import Generator, Iterable, List, Sequence
 
 from .analysis import LatencyRecorder
 from .core import Cell, CliqueMapClient, GetStatus, SetStatus

@@ -12,6 +12,8 @@ Run with ``python -m repro.tools <command>``:
   (``--demo`` runs a small workload first and renders an op trace).
 * ``chaos``        — seeded fault-injection soak: print the fault plan,
   the injected events, and the reaction metric tables.
+* ``perf``         — batched-vs-singleton multiget measurement; emits
+  ``BENCH_multiget.json`` for the perf trajectory.
 * ``model-check``  — explicit-state check of the R=3.2 protocol.
 """
 
@@ -221,6 +223,26 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    from ..analysis import (render_multiget_table, run_multiget_benchmark,
+                            write_bench_json)
+
+    result = run_multiget_benchmark(num_keys=args.keys,
+                                    transport=args.transport,
+                                    value_bytes=args.value_bytes,
+                                    num_shards=args.shards, seed=args.seed)
+    print(render_multiget_table(result))
+    if args.output:
+        write_bench_json(result, args.output)
+        print(f"wrote {args.output}")
+    ok = (result["engine_cpu_speedup"] >= 2.0 and
+          result["latency_speedup"] >= 1.5)
+    if not ok:
+        print("FAIL: batching speedup below the 2x CPU / 1.5x latency "
+              "floors")
+    return 0 if ok else 1
+
+
 def cmd_model_check(args: argparse.Namespace) -> int:
     from ..model import check
 
@@ -303,6 +325,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--transport", default="pony",
                    choices=["pony", "1rma", "rdma"])
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser("perf",
+                       help="batched-vs-singleton multiget perf datapoint "
+                            "(writes BENCH_multiget.json)")
+    p.add_argument("--keys", type=int, default=32)
+    p.add_argument("--value-bytes", type=int, default=128)
+    p.add_argument("--shards", type=int, default=6)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--transport", default="pony",
+                   choices=["pony", "1rma", "rdma"])
+    p.add_argument("--output", default="BENCH_multiget.json",
+                   help="perf-trajectory JSON path ('' to skip writing)")
+    p.set_defaults(func=cmd_perf)
 
     p = sub.add_parser("model-check",
                        help="explicit-state check of R=3.2 (§5.1)")

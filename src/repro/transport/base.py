@@ -10,14 +10,25 @@ what triggers CliqueMap's RPC-based re-handshake retry path (§4.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator
+from typing import Dict, Generator, List, Sequence, Tuple, Union
 
-from ..net import Fabric, Host, NetworkDropError
+from ..net import Fabric, Host
 from ..sim import Simulator
-from .memory import RegionRevokedError, RemoteHostDownError, RmaEndpoint
+from .memory import (RegionRevokedError, RemoteHostDownError, RmaEndpoint,
+                     RmaError)
 
 RMA_REQUEST_BYTES = 64          # a one-sided read command on the wire
 RMA_RESPONSE_HEADER_BYTES = 32  # completion/validation header on responses
+# A batched read carries one command header plus a compact descriptor
+# (region, offset, size) per entry; the response carries a per-entry
+# status word so partial failures can be reported without a round trip.
+RMA_BATCH_ENTRY_BYTES = 16
+RMA_BATCH_STATUS_BYTES = 8
+
+#: One entry of a batched read: ``(region_id, offset, size)``.
+ReadRequest = Tuple[int, int, int]
+#: One result of a batched read: snapshot bytes, or the per-entry error.
+ReadResult = Union[bytes, RmaError]
 
 
 @dataclass
@@ -30,6 +41,8 @@ class TransportCounters:
     failures: int = 0
     corrupted: int = 0
     bytes_fetched: int = 0
+    batched_reads: int = 0   # coalesced multi-entry ops on the wire
+    batched_keys: int = 0    # entries carried inside those ops
 
 
 class Transport:
@@ -45,6 +58,9 @@ class Transport:
         self.op_timeout = op_timeout
         self.endpoints: Dict[str, RmaEndpoint] = {}
         self.counters = TransportCounters()
+        # Optional MetricsRegistry; the Cell wires this up so batched-op
+        # amortization is observable per transport.
+        self.registry = None
 
     def attach(self, host: Host) -> RmaEndpoint:
         """Expose a host for RMA access; returns its endpoint."""
@@ -92,6 +108,89 @@ class Transport:
         child spans so an op can be decomposed layer by layer.
         """
         raise NotImplementedError
+
+    def read_multi(self, client_host: Host, server_name: str,
+                   requests: Sequence[ReadRequest],
+                   trace=None) -> Generator:
+        """Coalesced one-sided read of many regions on *one* server.
+
+        Returns a list aligned with ``requests``; each element is either
+        the snapshot bytes or the :class:`RmaError` that entry hit
+        (exceptions-as-values, so one revoked region never discards its
+        siblings' data). Whole-batch failures — dead host, partition —
+        still raise, exactly like :meth:`read`.
+
+        The base implementation issues the entries sequentially; wire-aware
+        transports override it to put all descriptors in one fabric
+        transfer and amortize the per-op costs (§7.1).
+        """
+        results: List[ReadResult] = []
+        for region_id, offset, size in requests:
+            try:
+                data = yield from self.read(client_host, server_name,
+                                            region_id, offset, size,
+                                            trace=trace)
+                results.append(data)
+            except RegionRevokedError as exc:
+                results.append(exc)
+        return results
+
+    def _read_entries(self, endpoint: RmaEndpoint,
+                      requests: Sequence[ReadRequest]) -> List[ReadResult]:
+        """Snapshot every entry of a batch, per-entry errors as values."""
+        results: List[ReadResult] = []
+        for region_id, offset, size in requests:
+            try:
+                window = endpoint.resolve(region_id)
+                results.append(window.read(offset, size))
+            except RmaError as exc:
+                self.counters.failures += 1
+                results.append(exc)
+        return results
+
+    def _observe_batch(self, n: int, engine_seconds: float) -> None:
+        """Account one coalesced op covering ``n`` entries."""
+        self.counters.batched_reads += 1
+        self.counters.batched_keys += n
+        if self.registry is not None and n > 0:
+            self.registry.counter(
+                "cliquemap_batched_keys_total",
+                "Keys carried inside coalesced multi-entry transport ops",
+            ).labels(transport=self.name).inc(n)
+            self.registry.histogram(
+                "cliquemap_batch_amortized_engine_cpu_seconds",
+                "Per-key engine/NIC CPU of a coalesced op (total / keys)",
+            ).labels(transport=self.name).observe(engine_seconds / n)
+
+    @staticmethod
+    def _batch_request_bytes(n: int) -> int:
+        return RMA_REQUEST_BYTES + RMA_BATCH_ENTRY_BYTES * n
+
+    @staticmethod
+    def _batch_response_bytes(results: Sequence[ReadResult]) -> int:
+        payload = sum(len(r) for r in results if isinstance(r, bytes))
+        return (payload + RMA_RESPONSE_HEADER_BYTES +
+                RMA_BATCH_STATUS_BYTES * len(results))
+
+    def _corrupt_largest(self, results: List[ReadResult],
+                         corrupted) -> List[ReadResult]:
+        """Apply a response-leg corruption to the batch's largest entry.
+
+        A flipped byte lands somewhere in the coalesced payload; modeling
+        it in the dominant entry keeps the per-batch corruption rate equal
+        to the per-delivery rate without corrupting every sibling.
+        """
+        if not corrupted:
+            return results
+        victim = None
+        for i, result in enumerate(results):
+            if isinstance(result, bytes) and result and (
+                    victim is None or
+                    len(result) > len(results[victim])):
+                victim = i
+        if victim is not None:
+            results[victim] = self._maybe_corrupt(results[victim], corrupted)
+        return results
 
     def _resolve_or_fail(self, endpoint: RmaEndpoint, region_id: int):
         try:

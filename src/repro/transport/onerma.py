@@ -109,6 +109,57 @@ class OneRmaTransport(Transport):
         self.counters.bytes_fetched += len(data)
         return data
 
+    def read_multi(self, client_host: Host, server_name: str,
+                   requests, trace=None) -> Generator:
+        """Coalesced read: one command, one window slot, one PCIe transaction.
+
+        The NIC executes the whole batch as a single solicited command:
+        one ``pcie_base_latency`` plus the summed payload over PCIe
+        bandwidth, and a single command timestamp — batching preserves
+        the Fig 16 measurement semantics (one command, one sample).
+        """
+        if not requests:
+            return []
+        trace = trace or NULL_SPAN
+        n = len(requests)
+        span = trace.child("nic.batch", entries=n)
+        submit_cost = self.cost.client_submit_cpu
+        yield from client_host.execute(submit_cost, "rma-client")
+        window = self._window_for(client_host)
+        slot = window.request()
+        yield slot
+        try:
+            issued_at = self.sim.now
+            yield from self.fabric.deliver(client_host,
+                                           self._remote_host(server_name),
+                                           self._batch_request_bytes(n),
+                                           parts=n, trace=span)
+            endpoint = yield from self._check_remote(server_name, client_host)
+            serve_span = span.child("backend.serve", host=server_name,
+                                    op="batch")
+            yield self.sim.timeout(self.cost.server_nic_latency)
+            total_size = sum(size for _r, _o, size in requests)
+            yield self.sim.timeout(self.cost.pcie_base_latency +
+                                   total_size / self.cost.pcie_bytes_per_sec)
+            results = self._read_entries(endpoint, requests)
+            serve_span.finish()
+            corrupted = yield from self.fabric.deliver(
+                endpoint.host, client_host,
+                self._batch_response_bytes(results), parts=n, trace=span)
+            results = self._corrupt_largest(results, corrupted)
+            if self.record_timestamps:
+                self.command_timestamps.append(
+                    (self.sim.now, self.sim.now - issued_at))
+        finally:
+            window.release(slot)
+        complete_cost = self.cost.client_complete_cpu
+        yield from client_host.execute(complete_cost, "rma-client")
+        span.finish()
+        self.counters.bytes_fetched += sum(
+            len(r) for r in results if isinstance(r, bytes))
+        self._observe_batch(n, submit_cost + complete_cost)
+        return results
+
     def _remote_host(self, server_name: str) -> Host:
         endpoint = self.endpoints.get(server_name)
         if endpoint is not None:

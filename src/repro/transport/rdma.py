@@ -24,6 +24,7 @@ class RdmaCostModel:
     client_post_cpu: float = 0.35e-6   # post work request
     client_poll_cpu: float = 0.35e-6   # reap completion
     server_nic_latency: float = 1.4e-6  # NIC processing + DMA at server
+    batch_entry_latency: float = 0.2e-6  # extra DMA per coalesced entry
 
 
 class RdmaTransport(Transport):
@@ -66,6 +67,43 @@ class RdmaTransport(Transport):
         self.counters.reads += 1
         self.counters.bytes_fetched += len(data)
         return data
+
+    def read_multi(self, client_host: Host, server_name: str,
+                   requests, trace=None) -> Generator:
+        """Coalesced read: one posted work request covers the batch.
+
+        The client pays one post and one poll regardless of batch size;
+        the server NIC pipelines the extra DMAs at ``batch_entry_latency``
+        each instead of a full per-op NIC traversal.
+        """
+        if not requests:
+            return []
+        trace = trace or NULL_SPAN
+        n = len(requests)
+        span = trace.child("nic.batch", entries=n)
+        post_cost = self.cost.client_post_cpu
+        yield from client_host.execute(post_cost, "rma-client")
+        yield from self.fabric.deliver(client_host,
+                                       self._remote_host(server_name),
+                                       self._batch_request_bytes(n),
+                                       parts=n, trace=span)
+        endpoint = yield from self._check_remote(server_name, client_host)
+        serve_span = span.child("backend.serve", host=server_name, op="batch")
+        yield self.sim.timeout(self.cost.server_nic_latency +
+                               self.cost.batch_entry_latency * (n - 1))
+        results = self._read_entries(endpoint, requests)
+        serve_span.finish()
+        corrupted = yield from self.fabric.deliver(
+            endpoint.host, client_host,
+            self._batch_response_bytes(results), parts=n, trace=span)
+        results = self._corrupt_largest(results, corrupted)
+        poll_cost = self.cost.client_poll_cpu
+        yield from client_host.execute(poll_cost, "rma-client")
+        span.finish()
+        self.counters.bytes_fetched += sum(
+            len(r) for r in results if isinstance(r, bytes))
+        self._observe_batch(n, post_cost + poll_cost)
+        return results
 
     def _remote_host(self, server_name: str) -> Host:
         endpoint = self.endpoints.get(server_name)

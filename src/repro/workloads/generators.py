@@ -14,7 +14,7 @@ All results land in :mod:`repro.analysis` recorders.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Generator, List, Optional
+from typing import Generator, List, Optional
 
 from ..analysis import LatencyRecorder, TimeSeries
 from ..core import CliqueMapClient, GetStatus, SetStatus

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import io
 from dataclasses import dataclass, field
-from typing import Generator, Iterable, List, Optional, TextIO, Tuple
+from typing import Generator, List, Optional, TextIO
 
 from ..analysis import LatencyRecorder
 from ..core import CliqueMapClient, GetStatus, SetStatus

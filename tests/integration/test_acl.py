@@ -1,6 +1,5 @@
 """Per-RPC ACLs wired into a cell (Table 1 / §2.1)."""
 
-import pytest
 
 from repro.core import (Cell, CellSpec, GetStatus, RepairConfig,
                         ReplicationMode, SetStatus)

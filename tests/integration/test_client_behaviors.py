@@ -1,6 +1,5 @@
 """Client-level behaviors: MSG strategy, retry layers, stat attribution."""
 
-import pytest
 
 from repro.core import (BackendConfig, Cell, CellSpec, ClientConfig,
                         GetStatus, LookupStrategy, ReplicationMode, SetStatus)

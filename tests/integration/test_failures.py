@@ -1,6 +1,5 @@
 """Failures, quorum degradation, repairs, and restart recovery (§5.4)."""
 
-import pytest
 
 from repro.core import (Cell, CellSpec, GetStatus, LookupStrategy,
                         RepairConfig, ReplicationMode, SetStatus)

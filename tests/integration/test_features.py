@@ -1,10 +1,9 @@
 """Post-launch features: compression, append, dashboard snapshots (§9)."""
 
-import pytest
 
 from repro.analysis import snapshot_cell
 from repro.core import (Cell, CellSpec, ClientConfig, GetStatus,
-                        LookupStrategy, ReplicationMode, SetStatus)
+                        ReplicationMode, SetStatus)
 
 
 def build(client_config=None, mode=ReplicationMode.R3_2):

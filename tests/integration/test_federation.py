@@ -1,6 +1,5 @@
 """Multi-cell federation across datacenters (§1, Table 1 row 5)."""
 
-import pytest
 
 from repro.core import CellSpec, GetStatus, ReplicationMode, SetStatus
 from repro.core.federation import Federation, FederationSpec

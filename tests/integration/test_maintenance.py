@@ -1,6 +1,5 @@
 """Planned maintenance via warm spares (§6.1, Fig 13)."""
 
-import pytest
 
 from repro.core import (Cell, CellSpec, GetStatus, LookupStrategy,
                         MaintenanceConfig, ReplicationMode, SetStatus)

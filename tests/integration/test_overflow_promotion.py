@@ -1,6 +1,5 @@
 """Overflow promotion: spilled keys regain RMA-accessibility (§4.2)."""
 
-import pytest
 
 from repro.core import (BackendConfig, Cell, CellSpec, GetStatus,
                         LookupStrategy, ReplicationMode, SetStatus)

@@ -5,7 +5,7 @@ import pytest
 from repro.core import (Cell, CellSpec, GetStatus, LookupStrategy,
                         ReplicationMode)
 from repro.rpc import Principal, connect as rpc_connect
-from repro.storage import CorpusLoader, StorageCostModel, SystemOfRecord
+from repro.storage import CorpusLoader, SystemOfRecord
 
 
 def build(num_keys=60):

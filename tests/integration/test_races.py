@@ -6,10 +6,9 @@ that lands between them observes a genuinely torn entry and must detect
 it via the checksum and retry.
 """
 
-import pytest
 
-from repro.core import (BackendConfig, Cell, CellSpec, ClientConfig,
-                        GetStatus, LookupStrategy, ReplicationMode, SetStatus)
+from repro.core import (BackendConfig, Cell, CellSpec, ClientConfig, GetStatus,
+                        LookupStrategy, ReplicationMode)
 
 
 def build(mode=ReplicationMode.R3_2, tear_window=50e-6, **cell_kwargs):

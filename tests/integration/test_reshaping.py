@@ -106,9 +106,6 @@ def test_reads_continue_during_growth_with_old_pointers():
 
     def app():
         yield from client.set(b"early", b"early-value")
-        early_region = None
-        for _bucket, entry in backend.index.entries():
-            early_region = entry.region_id
         # Force growth.
         for i in range(60):
             yield from client.set(b"fill-%d" % i, b"x" * 3000)

@@ -6,7 +6,6 @@ and handed back, one at a time — under continuous client load, and
 demands the same hitless behavior the paper reports.
 """
 
-import pytest
 
 from repro.core import (Cell, CellSpec, ClientConfig, GetStatus,
                         LookupStrategy, MaintenanceConfig, ReplicationMode)

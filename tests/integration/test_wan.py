@@ -1,6 +1,5 @@
 """WAN access via RPC (Table 1, row 5): cross-zone clients."""
 
-import pytest
 
 from repro.core import (Cell, CellSpec, ClientConfig, GetStatus,
                         LookupStrategy, ReplicationMode, SetStatus)

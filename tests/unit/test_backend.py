@@ -1,9 +1,8 @@
 """Unit tests for backend mutation handlers, eviction, and reshaping."""
 
-import pytest
 
 from repro.core import (BackendConfig, Cell, CellSpec, ReplicationMode,
-                        TrueTime, VersionFactory, VersionNumber)
+                        TrueTime, VersionFactory)
 from repro.rpc import Principal, connect as rpc_connect
 from repro.sim import RandomStream
 

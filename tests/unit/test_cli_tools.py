@@ -11,7 +11,7 @@ def test_parser_lists_all_commands():
                if hasattr(a, "choices") and a.choices)
     assert set(sub.choices) == {"quickstart", "ads", "geo", "drill",
                                 "snapshot", "metrics", "model-check",
-                                "trace", "chaos"}
+                                "trace", "chaos", "perf"}
 
 
 def test_chaos_command(capsys):
@@ -80,3 +80,17 @@ def test_trace_synthesize_and_replay(tmp_path, capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_perf_command(capsys, tmp_path):
+    out_path = tmp_path / "BENCH_multiget.json"
+    assert main(["perf", "--keys", "8", "--shards", "3",
+                 "--output", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "multiget benchmark" in out
+    assert "speedup" in out
+    assert out_path.exists()
+    import json
+    data = json.loads(out_path.read_text())
+    assert data["benchmark"] == "multiget"
+    assert data["engine_cpu_speedup"] >= 2.0

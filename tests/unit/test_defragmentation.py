@@ -1,6 +1,5 @@
 """Unit tests for data-region defragmentation (§4.1)."""
 
-import pytest
 
 from repro.core import (BackendConfig, Cell, CellSpec, GetStatus,
                         LookupStrategy, ReplicationMode)

@@ -4,7 +4,6 @@ import importlib
 import pathlib
 import re
 
-import pytest
 
 ROOT = pathlib.Path(__file__).resolve().parents[2]
 

@@ -1,6 +1,5 @@
 """Unit tests for the MemcacheG baseline (§2.1)."""
 
-import pytest
 
 from repro.baselines import MemcacheGCluster, MemcacheGConfig
 

@@ -1,6 +1,5 @@
 """Small-surface coverage: rendering edge cases, host priority, misc."""
 
-import pytest
 
 from repro.analysis import (cdf_points, render_percentile_lines,
                             render_series, render_table)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.model import (ABSENT, ModelState, Mutation, QUORUM, check,
+from repro.model import (ABSENT, ModelState, check,
                          check_double_failure_breaks, check_invariants,
                          successors)
 

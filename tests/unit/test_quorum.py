@@ -1,6 +1,6 @@
 """Unit tests for client-side quorum evaluation (§5.1)."""
 
-from repro.core.quorum import (QuorumOutcome, ReplicaVote, VoteKind, evaluate)
+from repro.core.quorum import QuorumOutcome, ReplicaVote, evaluate
 from repro.core.index import ParsedIndexEntry
 from repro.core.version import VersionNumber
 
@@ -107,3 +107,26 @@ def test_absent_and_present_tie_with_quorum_two():
     # Third vote resolves either way.
     with_third = evaluate([present("a", 5), absent("b"), absent("c")], 3, 2)
     assert with_third.outcome is QuorumOutcome.ABSENT
+
+
+def test_all_error_votes_are_inquorate():
+    decision = evaluate([error("a"), error("b"), error("c")], 3, 2)
+    assert decision.outcome is QuorumOutcome.INQUORATE
+    assert decision.members == ()
+
+
+def test_error_plus_matching_quorum_is_dirty_not_unanimous():
+    # One replica errored but two agree: a decided *dirty* quorum (§5.4)
+    # — the unanimous flag must stay false even though every non-error
+    # vote matched.
+    decision = evaluate([error("a"), present("b", 7), present("c", 7)], 3, 2)
+    assert decision.outcome is QuorumOutcome.PRESENT
+    assert decision.version == VersionNumber(7, 0, 0)
+    assert set(decision.members) == {"b", "c"}
+    assert not decision.unanimous
+
+
+def test_error_plus_matching_absent_quorum_is_dirty():
+    decision = evaluate([error("a"), absent("b"), absent("c")], 3, 2)
+    assert decision.outcome is QuorumOutcome.ABSENT
+    assert not decision.unanimous

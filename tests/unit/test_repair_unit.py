@@ -1,6 +1,5 @@
 """Focused unit tests for repair-scanner internals (§5.4)."""
 
-import pytest
 
 from repro.core import (Cell, CellSpec, RepairConfig, ReplicationMode,
                         VersionNumber)

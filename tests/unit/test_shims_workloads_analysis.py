@@ -7,7 +7,7 @@ from repro.analysis import (CounterSeries, LatencyRecorder, TimeSeries,
                             render_percentile_lines, render_series,
                             render_table)
 from repro.core import Cell, CellSpec, ReplicationMode, SetStatus
-from repro.shims import PROFILES, LanguageShim, NamedPipe, make_shim
+from repro.shims import PROFILES, NamedPipe, make_shim
 from repro.sim import RandomStream, Simulator
 from repro.workloads import (AdsScenario, AdsWorkload, GeoScenario,
                              GeoWorkload, KeySpace, LoadGenerator,
@@ -225,7 +225,6 @@ def test_load_generator_open_loop_offered_rate():
     metrics = WorkloadMetrics().with_timeline(bin_width=20e-3)
     gen = LoadGenerator(cell.sim, clients, ks, RandomStream(6, "load"),
                         metrics)
-    start = cell.sim.now
     procs = gen.start_open_loop_gets(rate_per_client=5000.0, duration=0.1)
     cell.sim.run(until=cell.sim.all_of(procs))
     cell.sim.run(until=cell.sim.now + 10e-3)  # drain stragglers

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import (AllOf, AnyOf, Interrupt, SimulationError, Simulator)
+from repro.sim import Interrupt, SimulationError, Simulator
 
 
 def test_time_starts_at_zero():
@@ -342,3 +342,36 @@ def test_process_return_value_via_until():
         return 21
 
     assert sim.run(until=sim.process(nested())) == 42
+
+
+def test_call_in_rejects_negative_delay():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_in(-1.0, lambda: None)
+
+
+def test_negative_delay_rejected_mid_run():
+    # Scheduling into the past from inside a running simulation would
+    # make time run backwards for everything already queued.
+    sim = Simulator()
+    failures = []
+
+    def proc():
+        yield sim.timeout(2.0)
+        try:
+            sim.call_in(-0.5, lambda: None)
+        except SimulationError as exc:
+            failures.append(exc)
+
+    sim.process(proc())
+    sim.run()
+    assert len(failures) == 1
+    assert sim.now == 2.0
+
+
+def test_call_in_zero_delay_still_allowed():
+    sim = Simulator()
+    fired = []
+    sim.call_in(0.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [0.0]

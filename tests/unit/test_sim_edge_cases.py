@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.sim import (AllOf, AnyOf, Event, Interrupt, SimulationError,
-                       Simulator)
+from repro.sim import Interrupt, SimulationError, Simulator
 
 
 def test_all_of_empty_succeeds_immediately():

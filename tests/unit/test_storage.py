@@ -1,6 +1,5 @@
 """Unit tests for the system-of-record substrate."""
 
-import pytest
 
 from repro.core import Cell, CellSpec, ReplicationMode
 from repro.rpc import Principal, connect as rpc_connect

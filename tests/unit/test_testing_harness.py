@@ -1,6 +1,5 @@
 """Tests for the public experiment-harness utilities (repro.testing)."""
 
-import pytest
 
 from repro.core import Cell, CellSpec, LookupStrategy, ReplicationMode
 from repro.testing import (cell_cpu_hosts, drive, key_with_primary_shard,

@@ -1,6 +1,5 @@
 """Unit tests for trace record/replay."""
 
-import io
 
 import pytest
 
@@ -95,7 +94,6 @@ def test_replay_preserves_relative_timing():
                    TraceOp(0.010, "set", b"b", 64),
                    TraceOp(0.020, "get", b"a", 1)])
     replayer = TraceReplayer(client, trace)
-    start = cell.sim.now
     report = run(cell, replayer.replay())
     assert report.duration >= 0.020
     assert report.sets == 2
