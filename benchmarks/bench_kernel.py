@@ -1,0 +1,87 @@
+"""Kernel fast-path benchmark: live scheduler vs the pre-change kernel.
+
+Runs the deterministic stress mix (``KERNEL_STRESS_SHAPES`` — weighted
+toward zero-delay scheduling to match the measured profile of a real
+cell run, which is ~53% zero-delay) on both the live ``Simulator`` and
+the verbatim pre-optimization kernel in ``_legacy_kernel``. Repeats are
+interleaved arm-by-arm so machine drift (thermal throttling, noisy
+neighbours) cannot land on one side of the ratio.
+
+Asserts the tentpole acceptance floor — at least 2x events/sec over the
+pre-change kernel — plus a machine-relative regression gate: if a
+committed ``BENCH_kernel.json`` records a ``floor_events_per_sec``, the
+live kernel must stay within 20% of it. Writes both kernels' numbers to
+``BENCH_kernel.json`` at the repo root so the perf trajectory records
+the optimization.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import run_once
+from _legacy_kernel import LegacySimulator
+
+from repro.analysis import compare_kernel_stress, write_bench_json
+from repro.sim import Simulator
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+SPEEDUP_FLOOR = 2.0     # tentpole acceptance: >= 2x events/sec
+REGRESSION_SLACK = 0.8  # fail if below 80% of the committed floor
+
+
+def _render_table(result) -> str:
+    lines = ["  shape       live ev/s    legacy ev/s   speedup",
+             "  ---------  -----------  -------------  -------"]
+    for name, live in result["new"]["shapes"].items():
+        legacy = result["legacy"]["shapes"][name]
+        lines.append(
+            f"  {name:<9}  {live['events_per_sec']:>9,.0f}/s"
+            f"  {legacy['events_per_sec']:>11,.0f}/s"
+            f"  {live['events_per_sec'] / legacy['events_per_sec']:>6.2f}x")
+    lines.append(
+        f"  {'overall':<9}  {result['new']['events_per_sec']:>9,.0f}/s"
+        f"  {result['legacy']['events_per_sec']:>11,.0f}/s"
+        f"  {result['speedup']:>6.2f}x")
+    return "\n".join(lines)
+
+
+def bench_kernel_fastpath(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: compare_kernel_stress(Simulator, LegacySimulator,
+                                      repeats=3))
+    print()
+    print(_render_table(result))
+
+    new_rate = result["new"]["events_per_sec"]
+
+    # Tentpole acceptance: the rewritten scheduler must run the identical
+    # event mix at >= 2x the pre-change kernel's rate.
+    assert result["speedup"] >= SPEEDUP_FLOOR, result
+
+    # Machine-relative regression gate against the committed datapoint.
+    if OUTPUT.exists():
+        committed = json.loads(OUTPUT.read_text())
+        floor = committed.get("floor_events_per_sec")
+        if floor:
+            assert new_rate >= REGRESSION_SLACK * floor, (
+                f"kernel events/sec regressed: {new_rate:,.0f}/s is below "
+                f"{REGRESSION_SLACK:.0%} of the recorded floor "
+                f"{floor:,.0f}/s")
+
+    write_bench_json({
+        "benchmark": "kernel",
+        "new": result["new"],
+        "legacy": result["legacy"],
+        "speedup": result["speedup"],
+        # Conservative machine-dependent floor: half the measured rate,
+        # so ordinary CI jitter passes but a real fast-path regression
+        # (losing the ready queue, reintroducing per-action closures)
+        # trips the 80% gate above.
+        "floor_events_per_sec": new_rate / 2,
+    }, str(OUTPUT))
+    print(f"  wrote {OUTPUT.name}")

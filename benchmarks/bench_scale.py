@@ -1,0 +1,112 @@
+"""Scale smoke: a paper-sized step — 200-host cells, 100k ops end-to-end.
+
+Two checks ride on one benchmark:
+
+* **Throughput** — a 200-host R=3.2 cell (one backend task per shard)
+  serves 100k batched GETs split across the pony and 1RMA transports,
+  and the whole thing must finish in under 60 s of wall-clock. Before
+  the kernel fast-path this took well over the budget; the events/sec
+  and simulated-ops-per-wall-second land in ``BENCH_kernel.json``
+  alongside the kernel stress numbers.
+* **Equivalence** — the fast-path kernel must be an *optimization*, not
+  a behavior change. The same seeded workload replayed on the verbatim
+  pre-change kernel (``_legacy_kernel``) must produce an identical
+  per-op outcome digest and consume the identical number of scheduling
+  sequence numbers: same seed, same op outcomes, same event order.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import run_once
+from _legacy_kernel import LegacySimulator
+
+from repro.analysis import run_scale_workload
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+NUM_HOSTS = 200
+WALL_BUDGET_SECONDS = 60.0
+PONY_OPS = 60_000
+ONERMA_OPS = 40_000
+
+# The equivalence replay runs the workload twice (once per kernel), so it
+# uses a smaller cell to keep the double run cheap; equivalence is a
+# property of the op path, not of the cell size.
+EQUIV_HOSTS = 24
+EQUIV_OPS = 2_000
+
+
+def _run_scale():
+    pony = run_scale_workload(transport="pony", num_hosts=NUM_HOSTS,
+                              ops=PONY_OPS, batch=8)
+    onerma = run_scale_workload(transport="1rma", num_hosts=NUM_HOSTS,
+                                ops=ONERMA_OPS, batch=8)
+    return {"pony": pony, "1rma": onerma}
+
+
+def bench_scale_cell(benchmark):
+    result = run_once(benchmark, _run_scale)
+    total_ops = 0
+    total_wall = 0.0
+    total_events = 0
+    print()
+    for transport, run in result.items():
+        total_ops += run["ops"]
+        total_wall += run["wall_seconds"]
+        total_events += run["events"]
+        print(f"  {transport:<5} hosts={NUM_HOSTS} ops={run['ops']:,} "
+              f"wall={run['wall_seconds']:.1f}s "
+              f"events/s={run['events_per_sec']:,.0f} "
+              f"sim-ops/wall-s={run['ops_per_wall_sec']:,.0f} "
+              f"hits={run['hits']:,} errors={run['errors']}")
+    print(f"  total ops={total_ops:,} wall={total_wall:.1f}s "
+          f"(budget {WALL_BUDGET_SECONDS:.0f}s)")
+
+    assert total_ops >= 100_000, total_ops
+    assert total_wall < WALL_BUDGET_SECONDS, (
+        f"scale smoke too slow: {total_wall:.1f}s for {total_ops:,} ops")
+    for transport, run in result.items():
+        assert run["errors"] == 0, (transport, run)
+
+    # Fold the scale datapoint into the kernel perf record.
+    if OUTPUT.exists():
+        record = json.loads(OUTPUT.read_text())
+    else:
+        record = {"benchmark": "kernel"}
+    record["scale"] = {
+        "num_hosts": NUM_HOSTS,
+        "total_ops": total_ops,
+        "total_wall_seconds": total_wall,
+        "runs": {
+            transport: {
+                "ops": run["ops"],
+                "wall_seconds": run["wall_seconds"],
+                "events": run["events"],
+                "events_per_sec": run["events_per_sec"],
+                "ops_per_wall_sec": run["ops_per_wall_sec"],
+                "digest": run["digest"],
+            } for transport, run in result.items()
+        },
+    }
+    OUTPUT.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"  wrote {OUTPUT.name} (scale section)")
+
+
+def bench_scale_digest_matches_legacy_kernel(benchmark):
+    """Same seed, same outcomes: the fast path changes no behavior."""
+    def both():
+        live = run_scale_workload(num_hosts=EQUIV_HOSTS, ops=EQUIV_OPS)
+        legacy = run_scale_workload(num_hosts=EQUIV_HOSTS, ops=EQUIV_OPS,
+                                    sim=LegacySimulator())
+        return live, legacy
+
+    live, legacy = run_once(benchmark, both)
+    print(f"\n  live   digest={live['digest']} events={live['events']:,}")
+    print(f"  legacy digest={legacy['digest']} events={legacy['events']:,}")
+    assert live["digest"] == legacy["digest"], (live, legacy)
+    assert live["events"] == legacy["events"], (live, legacy)
+    assert live["sim_seconds"] == legacy["sim_seconds"], (live, legacy)

@@ -2,7 +2,9 @@
 
 from .dashboard import (BackendSnapshot, CellSnapshot, ClientSnapshot,
                         snapshot_cell)
-from .perf import (run_multiget_benchmark, render_multiget_table,
+from .perf import (compare_kernel_stress, profile_hotspots,
+                   render_multiget_table, run_kernel_stress,
+                   run_multiget_benchmark, run_scale_workload,
                    write_bench_json)
 from .reporting import (render_metrics, render_percentile_lines,
                         render_series, render_table)
@@ -16,4 +18,6 @@ __all__ = [
     "CounterSeries", "LatencyRecorder", "TimeSeries", "cdf_points",
     "cpu_ns_per_op", "cpu_us_per_op",
     "run_multiget_benchmark", "render_multiget_table", "write_bench_json",
+    "run_kernel_stress", "compare_kernel_stress", "run_scale_workload",
+    "profile_hotspots",
 ]

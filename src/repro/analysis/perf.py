@@ -13,10 +13,13 @@ anywhere.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import time
 from typing import Dict, List
 
-from ..core import Cell, CellSpec, GetStatus
+from ..core import Cell, CellSpec, GetStatus, ReplicationMode
+from ..sim import RandomStream, ZipfSampler
 
 # Which CPU-ledger component carries the transport's dataplane cost.
 # Pony engines charge both sides; hardware transports charge only the
@@ -124,6 +127,270 @@ def run_multiget_benchmark(num_keys: int = 32, transport: str = "pony",
     }
 
 
+# Kernel-stress shape mix: (name, workers, rounds). Weighted toward
+# zero-delay work because that is what a cell run schedules most — every
+# event trigger (process resume, RPC completion, RMA callback) is a
+# zero-delay action; only genuine link/CPU delays and timers hit the
+# heap. ``ticker`` keeps the heap path honest in the blend.
+KERNEL_STRESS_SHAPES = (
+    ("ticker", 8, 1200),    # staggered heap timers
+    ("storm", 16, 1200),    # zero-delay timeout resumes (ready queue)
+    ("sleeper", 8, 1200),   # pooled retry/backoff sleeps
+    ("callbacks", 2, 9600),  # bare call_soon storm, no generators
+    ("fanout", 8, 600),     # all_of/any_of + manually-signalled events
+)
+
+
+def _stress_shape(sim, shape: str, workers: int, rounds: int) -> None:
+    """Run one shape to completion on ``sim`` (any Simulator interface)."""
+
+    def ticker(period: float):
+        for _ in range(rounds):
+            yield sim.timeout(period)
+
+    def storm():
+        for _ in range(rounds):
+            yield sim.timeout(0)
+
+    def sleeper():
+        for i in range(rounds):
+            yield sim.sleep(1e-6 * (i % 5))
+
+    def fanout():
+        for i in range(rounds // 8):
+            yield sim.all_of([sim.timeout(1e-6 * k) for k in range(4)])
+            _ev, _value = yield sim.any_of(
+                [sim.timeout(1e-6), sim.timeout(2e-6)])
+            signal = sim.event()
+            sim.call_in(1e-6, signal.succeed, i)
+            yield signal
+
+    if shape == "callbacks":
+        remaining = [workers * rounds]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.call_soon(tick)
+
+        for _ in range(workers):
+            sim.call_soon(tick)
+        sim.run()
+        return
+    gens = {"ticker": lambda w: ticker(1e-6 * (1 + w)),
+            "storm": lambda w: storm(),
+            "sleeper": lambda w: sleeper(),
+            "fanout": lambda w: fanout()}[shape]
+    procs = [sim.process(gens(w)) for w in range(workers)]
+    sim.run(until=sim.all_of(procs))
+
+
+def run_kernel_stress(sim_factory, scale: float = 1.0,
+                      repeats: int = 3) -> Dict:
+    """Measure raw kernel events/sec over the deterministic shape mix.
+
+    ``sim_factory`` builds a fresh simulator per run — pass
+    :class:`~repro.sim.Simulator` for the live kernel, or the benchmarks'
+    legacy baseline kernel, so both arms run the identical load. Each
+    shape runs ``repeats`` times and keeps its best wall time (standard
+    microbenchmark practice: the minimum is the least noise-polluted
+    sample). Returns per-shape and aggregate events (scheduled actions)
+    and wall seconds.
+    """
+    shapes: Dict[str, Dict] = {}
+    total_events = 0
+    total_wall = 0.0
+    for name, workers, rounds in KERNEL_STRESS_SHAPES:
+        best_wall = float("inf")
+        events = 0
+        for _ in range(max(1, repeats)):
+            sim = sim_factory()
+            start = time.perf_counter()
+            _stress_shape(sim, name, workers, max(1, int(rounds * scale)))
+            wall = time.perf_counter() - start
+            events = sim._seq
+            best_wall = min(best_wall, wall)
+        shapes[name] = {
+            "events": events,
+            "wall_seconds": best_wall,
+            "events_per_sec": events / best_wall if best_wall > 0 else 0.0,
+        }
+        total_events += events
+        total_wall += best_wall
+    return {
+        "shapes": shapes,
+        "events": total_events,
+        "wall_seconds": total_wall,
+        "events_per_sec": total_events / total_wall if total_wall else 0.0,
+    }
+
+
+def compare_kernel_stress(new_factory, legacy_factory,
+                          scale: float = 1.0, repeats: int = 3) -> Dict:
+    """Run the stress mix on two kernels, interleaved repeat-by-repeat.
+
+    Benchmarking the kernels back-to-back lets machine drift (thermal
+    throttling, cache warm-up, a noisy neighbour) land entirely on one
+    arm and skew the ratio. Interleaving each shape's repeats —
+    new, legacy, new, legacy, ... — spreads any drift across both arms,
+    and best-of-``repeats`` per arm discards the polluted samples.
+    Returns ``{"new": ..., "legacy": ..., "speedup": ...}`` where the two
+    kernel entries match :func:`run_kernel_stress` output.
+    """
+    arms = {"new": new_factory, "legacy": legacy_factory}
+    best: Dict[str, Dict[str, float]] = {k: {} for k in arms}
+    events: Dict[str, Dict[str, int]] = {k: {} for k in arms}
+    for name, workers, rounds in KERNEL_STRESS_SHAPES:
+        rounds = max(1, int(rounds * scale))
+        for _ in range(max(1, repeats)):
+            for arm, factory in arms.items():
+                sim = factory()
+                start = time.perf_counter()
+                _stress_shape(sim, name, workers, rounds)
+                wall = time.perf_counter() - start
+                events[arm][name] = sim._seq
+                prev = best[arm].get(name, float("inf"))
+                best[arm][name] = min(prev, wall)
+
+    out: Dict = {}
+    for arm in arms:
+        shapes = {}
+        total_events = 0
+        total_wall = 0.0
+        for name, _w, _r in KERNEL_STRESS_SHAPES:
+            ev, wall = events[arm][name], best[arm][name]
+            shapes[name] = {
+                "events": ev,
+                "wall_seconds": wall,
+                "events_per_sec": ev / wall if wall > 0 else 0.0,
+            }
+            total_events += ev
+            total_wall += wall
+        out[arm] = {
+            "shapes": shapes,
+            "events": total_events,
+            "wall_seconds": total_wall,
+            "events_per_sec": (total_events / total_wall
+                               if total_wall else 0.0),
+        }
+    new_rate = out["new"]["events_per_sec"]
+    legacy_rate = out["legacy"]["events_per_sec"]
+    out["speedup"] = new_rate / legacy_rate if legacy_rate else float("inf")
+    return out
+
+
+def run_scale_workload(transport: str = "pony", num_hosts: int = 200,
+                       ops: int = 50000, seed: int = 1, sim=None,
+                       num_clients: int = 8, batch: int = 4,
+                       num_keys: int = 1024, value_bytes: int = 128,
+                       tracing: bool = False) -> Dict:
+    """Drive a paper-scale cell end-to-end and digest every op outcome.
+
+    Builds a ``num_hosts``-backend cell (R=3 quorum), preloads a zipf
+    corpus, and issues ``ops`` closed-loop GETs through batched
+    ``get_multi`` across ``num_clients`` clients. Returns wall-clock,
+    scheduled-action, and simulated-time totals plus a digest over every
+    op's (status, value-size, attempts, latency) in completion order —
+    two kernels are order-equivalent iff their digests match.
+
+    ``sim`` injects an alternative simulator (the benchmarks pass the
+    pre-optimization baseline kernel); ``None`` uses the live kernel.
+    """
+    spec = CellSpec(transport=transport, num_shards=num_hosts,
+                    mode=ReplicationMode.R3_2, seed=seed, tracing=tracing)
+    wall_start = time.perf_counter()
+    cell = Cell(spec, sim=sim)
+    sim = cell.sim
+    keys = [b"sk-%05d" % i for i in range(num_keys)]
+    value = bytes(value_bytes)
+
+    client0 = cell.connect_client(strategy="2xr")
+    clients = [client0] + [cell.connect_client(strategy="2xr")
+                           for _ in range(num_clients - 1)]
+
+    def preload():
+        for key in keys:
+            result = yield from client0.set(key, value)
+            assert result.ok, (key, result)
+
+    sim.run(until=sim.process(preload()))
+
+    digest = hashlib.blake2b(digest_size=16)
+    counts = {"ops": 0, "hits": 0, "misses": 0, "errors": 0}
+    per_worker = -(-ops // num_clients)  # ceil: total >= requested ops
+
+    def worker(wid: int, client) -> "object":
+        sampler = ZipfSampler(RandomStream(seed, f"scale-{wid}"), num_keys)
+        issued = 0
+        while issued < per_worker:
+            n = min(batch, per_worker - issued)
+            wanted = [keys[r] for r in sampler.sample_n(n)]
+            results = yield from client.get_multi(wanted)
+            for result in results:
+                counts["ops"] += 1
+                if result.status is GetStatus.HIT:
+                    counts["hits"] += 1
+                elif result.status is GetStatus.MISS:
+                    counts["misses"] += 1
+                else:
+                    counts["errors"] += 1
+                digest.update(
+                    b"%d|%s|%d|%d|%s;" %
+                    (wid, result.status.name.encode(),
+                     len(result.value or b""), result.attempts,
+                     repr(result.latency).encode()))
+            issued += n
+
+    procs = [sim.process(worker(i, c)) for i, c in enumerate(clients)]
+    start_sim = sim.now
+    sim.run(until=sim.all_of(procs))
+    sim_elapsed = sim.now - start_sim
+    cell.close()
+    wall = time.perf_counter() - wall_start
+
+    return {
+        "benchmark": "scale",
+        "transport": transport,
+        "num_hosts": num_hosts,
+        "num_clients": num_clients,
+        "mode": "R3_2",
+        "seed": seed,
+        "ops": counts["ops"],
+        "hits": counts["hits"],
+        "misses": counts["misses"],
+        "errors": counts["errors"],
+        "digest": digest.hexdigest(),
+        "events": sim._seq,
+        "sim_seconds": sim_elapsed,
+        "wall_seconds": wall,
+        "events_per_sec": sim._seq / wall if wall > 0 else 0.0,
+        "ops_per_wall_sec": counts["ops"] / wall if wall > 0 else 0.0,
+    }
+
+
+def profile_hotspots(top: int = 25, transport: str = "pony",
+                     num_hosts: int = 24, ops: int = 2000,
+                     seed: int = 1, sort: str = "cumulative",
+                     stream=None) -> Dict:
+    """Run a short scale workload under cProfile; print top-N hot spots.
+
+    The profiling hook future optimization PRs start from: it answers
+    "where does kernel wall-clock go now?" without any setup.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_scale_workload(transport=transport, num_hosts=num_hosts,
+                                ops=ops, seed=seed)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=stream) if stream is not None \
+        else pstats.Stats(profiler)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+    return result
+
+
 def write_bench_json(result: Dict, path: str) -> None:
     """Write one perf datapoint where the trajectory tooling expects it."""
     with open(path, "w") as fh:
@@ -150,5 +417,7 @@ def render_multiget_table(result: Dict) -> str:
 
 __all__ = [
     "ENGINE_COMPONENTS", "run_multiget_benchmark", "write_bench_json",
-    "render_multiget_table",
+    "render_multiget_table", "run_kernel_stress", "compare_kernel_stress",
+    "run_scale_workload",
+    "profile_hotspots",
 ]

@@ -177,9 +177,10 @@ class Backend:
 
     def _instrumented(self, method: str, handler):
         """Wrap a handler: count it and open a per-method child span."""
+        handled = self._m_handled.labels(task=self.task_name, method=method)
 
         def wrapped(payload, context: HandlerContext) -> Generator:
-            self._m_handled.labels(task=self.task_name, method=method).inc()
+            handled.inc()
             span = context.span.child(f"handler.{method.lower()}",
                                       task=self.task_name)
             try:

@@ -48,6 +48,9 @@ class CellSpec:
     # Internal principals (repair@*, migrate@*, loader) keep working.
     writer_principals: Optional[List[str]] = None
     seed: int = 1
+    # Span tracing for every op. Disabling it takes the null-telemetry
+    # fast path: zero span objects allocated anywhere on the op path.
+    tracing: bool = True
 
 
 def make_transport(name: str, sim: Simulator, fabric: Fabric,
@@ -85,7 +88,8 @@ class Cell:
         # dashboard read a single coherent snapshot. The fabric counts
         # drops/corruption/slow-links into the same registry.
         self.metrics = MetricsRegistry()
-        self.tracer = Tracer(clock=lambda: self.sim.now)
+        self.tracer = Tracer(clock=lambda: self.sim.now,
+                             enabled=self.spec.tracing)
         self.fabric.registry = self.metrics
         if self.transport is not None:
             self.transport.registry = self.metrics

@@ -253,6 +253,7 @@ class CliqueMapClient:
         self.placement: Optional[Placement] = None
         self._views: Dict[str, BackendView] = {}
         self._pending_touches: Dict[str, List[bytes]] = {}
+        self._pending_touch_count = 0
         self._touch_flusher_started = False
         self._reconnecting: set = set()
         self._closed = False
@@ -307,6 +308,31 @@ class CliqueMapClient:
             "cliquemap_batch_fallback_total",
             "Batch keys diverted to the singleton retry path, by op/reason")
 
+        # Pre-bound series handles for the per-op hot path. Resolving
+        # ``labels(...)`` sorts and hashes the label set on every call;
+        # the strategy label is fixed for the client's lifetime, so the
+        # common (op, status) series are bound once here and the rest
+        # memoized on first use in :meth:`_finish_op`.
+        strategy = self.strategy.value
+        self._h_ops = {
+            (op, status): self._m_ops.labels(op=op, status=status)
+            for op, status in (("get", "hit"), ("get", "miss"),
+                               ("get", "error"), ("set", "applied"),
+                               ("set", "failed"))}
+        self._h_latency = {
+            op: self._m_latency.labels(op=op, strategy=strategy)
+            for op in ("get", "set", "erase", "append")}
+        self._h_batched_get_latency = self._m_latency.labels(
+            op="get", strategy="batched")
+        self._h_batched_set_latency = self._m_latency.labels(
+            op="set", strategy="batched")
+        self._h_batch_size_get = self._m_batch_size.labels(op="get_multi")
+        self._h_batch_size_set = self._m_batch_size.labels(op="set_multi")
+        self._h_batch_keys_get = self._m_batch_keys.labels(op="get")
+        self._h_batch_keys_set = self._m_batch_keys.labels(op="set")
+        self._h_touch_pending = self._m_touch_pending.labels(
+            client=self.client_id)
+
     # ------------------------------------------------------------------
     # Connection management
     # ------------------------------------------------------------------
@@ -330,7 +356,9 @@ class CliqueMapClient:
     def _build_view(self, task: str) -> Generator:
         backend = self.directory(task)
         view = self._views.get(task)
+        new_incarnation = False
         if view is None or view.channel.server is not backend.rpc_server:
+            new_incarnation = view is not None
             channel = rpc_connect(self.sim, self.fabric, self.host,
                                   backend.rpc_server, self.principal,
                                   client_component="cliquemap-client")
@@ -354,8 +382,12 @@ class CliqueMapClient:
         view.data_region_id = info["data_region_id"]
         # A handshake proves the control channel, not the data path: it
         # reconnects the view but does not clear quarantine — only op
-        # successes do, so a gray replica cannot flap back in.
+        # successes do, so a gray replica cannot flap back in. The one
+        # exception is a brand-new server incarnation: its predecessor's
+        # failure history died with the old process.
         view.health.mark_connected()
+        if new_incarnation:
+            view.health.reset_for_new_incarnation()
         self.stats["view_refreshes"] += 1
         return view
 
@@ -377,7 +409,7 @@ class CliqueMapClient:
     def _reconnect_loop(self, task: str) -> Generator:
         try:
             while True:
-                yield self.sim.timeout(self.config.reconnect_interval)
+                yield self.sim.sleep(self.config.reconnect_interval)
                 if task not in {t for t in self.cell.shard_tasks}:
                     return  # task no longer serves; a refresh will rebuild
                 view = yield from self._build_view(task)
@@ -456,12 +488,18 @@ class CliqueMapClient:
                     # of the retry procedure (§4.1) — re-handshake any
                     # disconnected cohort member inline rather than
                     # waiting for the background reconnect loop.
-                    # Quarantined members are left to cool down.
+                    # Quarantined members are left to cool down — unless
+                    # the directory shows the task restarted, in which
+                    # case the quarantine belongs to a dead incarnation
+                    # and a handshake re-admits the new one.
                     for shard in self.placement.shards_for(key_hash):
                         task = self.cell.task_for_shard(shard)
                         view = self._views.get(task)
                         if view is None or (not view.health.connected and
                                             not view.health.quarantined):
+                            yield from self._build_view(task)
+                        elif view.channel.server is not \
+                                self.directory(task).rpc_server:
                             yield from self._build_view(task)
                 delay = backoff.next_delay()
                 if self.sim.now + delay >= deadline_at:
@@ -471,7 +509,7 @@ class CliqueMapClient:
                     recovery.finish()
                     break
                 if delay:
-                    yield self.sim.timeout(delay)
+                    yield self.sim.sleep(delay)
                 recovery.finish()
                 continue
             latency = self.sim.now - started
@@ -500,9 +538,16 @@ class CliqueMapClient:
     def _finish_op(self, op: str, status: str, latency: float,
                    root) -> Optional[TraceContext]:
         """Record terminal metrics + trace for one operation."""
-        self._m_ops.labels(op=op, status=status).inc()
-        self._m_latency.labels(op=op, strategy=self.strategy.value).observe(
-            latency)
+        handle = self._h_ops.get((op, status))
+        if handle is None:
+            handle = self._h_ops[(op, status)] = self._m_ops.labels(
+                op=op, status=status)
+        handle.inc()
+        latency_handle = self._h_latency.get(op)
+        if latency_handle is None:
+            latency_handle = self._h_latency[op] = self._m_latency.labels(
+                op=op, strategy=self.strategy.value)
+        latency_handle.observe(latency)
         if not root:  # tracing disabled: NULL_SPAN is falsy
             return None
         root.annotate(status=status)
@@ -574,7 +619,7 @@ class CliqueMapClient:
         deadline_at = started + (deadline or self.config.default_deadline)
         n = len(keys)
         quorum = self.cell.mode.quorum
-        self._m_batch_size.labels(op="get_multi").observe(n)
+        self._h_batch_size_get.observe(n)
         root = self.tracer.start("get_multi", client=self.client_id, batch=n)
 
         key_hashes = [self.placement.key_hash(key) for key in keys]
@@ -673,11 +718,10 @@ class CliqueMapClient:
             else:
                 self.stats["misses"] += 1
             self.stats["gets"] += 1
-            self._m_batch_keys.labels(op="get").inc()
+            self._h_batch_keys_get.inc()
             status_str = "hit" if status is GetStatus.HIT else "miss"
-            self._m_ops.labels(op="get", status=status_str).inc()
-            self._m_latency.labels(op="get", strategy="batched").observe(
-                latency)
+            self._h_ops[("get", status_str)].inc()
+            self._h_batched_get_latency.observe(latency)
             results[i] = GetResult(status, value=value, version=version,
                                    latency=latency,
                                    trace=TraceContext(root) if root else None)
@@ -827,7 +871,7 @@ class CliqueMapClient:
         started = self.sim.now
         deadline_at = started + (deadline or self.config.default_deadline)
         n = len(keys)
-        self._m_batch_size.labels(op="get_multi").observe(n)
+        self._h_batch_size_get.observe(n)
         root = self.tracer.start("get_multi", client=self.client_id,
                                  batch=n, strategy="rpc")
         results: List[Optional[GetResult]] = [None] * n
@@ -868,10 +912,10 @@ class CliqueMapClient:
             latency = self.sim.now - started
             for i, reply in zip(idxs, replies):
                 self.stats["gets"] += 1
-                self._m_batch_keys.labels(op="get").inc()
+                self._h_batch_keys_get.inc()
                 if reply.get("found"):
                     self.stats["hits"] += 1
-                    self._m_ops.labels(op="get", status="hit").inc()
+                    self._h_ops[("get", "hit")].inc()
                     value = yield from self._decode_value(reply["value"])
                     results[i] = GetResult(
                         GetStatus.HIT, value=value,
@@ -879,10 +923,9 @@ class CliqueMapClient:
                         latency=latency)
                 else:
                     self.stats["misses"] += 1
-                    self._m_ops.labels(op="get", status="miss").inc()
+                    self._h_ops[("get", "miss")].inc()
                     results[i] = GetResult(GetStatus.MISS, latency=latency)
-                self._m_latency.labels(op="get",
-                                       strategy="batched").observe(latency)
+                self._h_batched_get_latency.observe(latency)
         if fallback:
             yield from self._finish_batch_fallback(
                 "get_multi", keys, results, fallback, started, deadline_at,
@@ -1494,7 +1537,7 @@ class CliqueMapClient:
             if self.sim.now + delay >= deadline_at:
                 break  # would sleep past the deadline: no attempt left
             if delay:
-                yield self.sim.timeout(delay)
+                yield self.sim.sleep(delay)
         root.finish()
         last.trace = self._finish_op("set", "failed", last.latency, root)
         return last
@@ -1518,7 +1561,7 @@ class CliqueMapClient:
         deadline_at = started + (deadline or self.config.default_deadline)
         n = len(items)
         quorum = self.cell.mode.quorum
-        self._m_batch_size.labels(op="set_multi").observe(n)
+        self._h_batch_size_set.observe(n)
         root = self.tracer.start("set_multi", client=self.client_id, batch=n)
         # One mutation-build charge for the whole batch — the per-op CPU
         # the coalesced path amortizes.
@@ -1598,10 +1641,13 @@ class CliqueMapClient:
                 fallback[i] = "inquorate"
                 continue
             self.stats["sets"] += 1
-            self._m_batch_keys.labels(op="set").inc()
-            self._m_ops.labels(op="set", status=status_str).inc()
-            self._m_latency.labels(op="set", strategy="batched").observe(
-                latency)
+            self._h_batch_keys_set.inc()
+            handle = self._h_ops.get(("set", status_str))
+            if handle is None:
+                handle = self._h_ops[("set", status_str)] = \
+                    self._m_ops.labels(op="set", status=status_str)
+            handle.inc()
+            self._h_batched_set_latency.observe(latency)
             results[i] = MutationResult(
                 status, version=versions[i], replicas_applied=applied[i],
                 latency=latency,
@@ -1696,7 +1742,7 @@ class CliqueMapClient:
             if self.sim.now + delay >= deadline_at:
                 break  # would sleep past the deadline: no attempt left
             if delay:
-                yield self.sim.timeout(delay)
+                yield self.sim.sleep(delay)
         root.finish()
         last.trace = self._finish_op("erase", "failed", last.latency, root)
         return last
@@ -1749,7 +1795,7 @@ class CliqueMapClient:
                 break
             if _attempt:
                 # Linear backoff de-synchronizes contending CAS loops.
-                yield self.sim.timeout(self.config.retry_backoff *
+                yield self.sim.sleep(self.config.retry_backoff *
                                        _attempt * (1 + self.client_id % 3))
             current = yield from self.get(key)
             if current.status is GetStatus.ERROR:
@@ -1812,9 +1858,14 @@ class CliqueMapClient:
     def _note_touch(self, key_hash: bytes) -> None:
         if not self.config.touch_enabled or self._closed:
             return
+        pending = self._pending_touches
         for shard in self.placement.shards_for(key_hash):
             task = self.cell.task_for_shard(shard)
-            self._pending_touches.setdefault(task, []).append(key_hash)
+            bucket = pending.get(task)
+            if bucket is None:
+                bucket = pending[task] = []
+            bucket.append(key_hash)
+            self._pending_touch_count += 1
         self._update_touch_gauge()
         if not self._touch_flusher_started:
             self._touch_flusher_started = True
@@ -1823,18 +1874,20 @@ class CliqueMapClient:
             proc.defused = True
 
     def _update_touch_gauge(self) -> None:
-        self._m_touch_pending.labels(client=self.client_id).set(
-            sum(len(v) for v in self._pending_touches.values()))
+        # A running count instead of summing every bucket: this fires on
+        # each touched key, which on a hit-heavy workload is every GET.
+        self._h_touch_pending.set(self._pending_touch_count)
 
     def _touch_flusher(self) -> Generator:
         """Background batch reporting of accesses, amortizing RPC cost."""
         while not self._closed:
-            yield self.sim.timeout(self.config.touch_flush_interval)
+            yield self.sim.sleep(self.config.touch_flush_interval)
             yield from self._flush_touches_once()
 
     def _flush_touches_once(self) -> Generator:
         """Report every buffered touch batch now (one sweep)."""
         pending, self._pending_touches = self._pending_touches, {}
+        self._pending_touch_count = 0
         self._update_touch_gauge()
         for task, hashes in pending.items():
             view = self._views.get(task)

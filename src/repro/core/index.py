@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
 from ..transport import Arena, MemoryRegion
 from .version import VersionNumber
@@ -53,19 +53,50 @@ class ParsedIndexEntry:
     valid: bool
 
 
-@dataclass(frozen=True)
 class ParsedBucket:
-    """A client-side view of one fetched Bucket."""
+    """A client-side view of one fetched Bucket.
 
-    config_id: int
-    overflow: bool
-    entries: Tuple[ParsedIndexEntry, ...]
-    magic_ok: bool
+    Entries decode lazily: the hot GET path calls :meth:`find`, which
+    scans the raw bytes and materializes only the matching entry, so a
+    lookup does not pay ``ways`` dataclass + version constructions just
+    to discard all but one.
+    """
+
+    __slots__ = ("config_id", "overflow", "magic_ok", "_raw", "_ways",
+                 "_entries")
+
+    def __init__(self, config_id: int, overflow: bool, magic_ok: bool,
+                 raw: bytes, ways: int):
+        self.config_id = config_id
+        self.overflow = overflow
+        self.magic_ok = magic_ok
+        self._raw = raw
+        self._ways = ways
+        self._entries: Optional[Tuple[ParsedIndexEntry, ...]] = None
+
+    def _parse_way(self, way: int) -> ParsedIndexEntry:
+        kh, ver, region, offset, size, eflags = ENTRY.unpack_from(
+            self._raw, BUCKET_HEADER_BYTES + way * ENTRY_BYTES)
+        return ParsedIndexEntry(
+            way=way, key_hash=kh, version=VersionNumber.unpack(ver),
+            region_id=region, offset=offset, size=size,
+            valid=bool(eflags & ENTRY_FLAG_VALID))
+
+    @property
+    def entries(self) -> Tuple[ParsedIndexEntry, ...]:
+        if self._entries is None:
+            self._entries = tuple(
+                self._parse_way(way) for way in range(self._ways))
+        return self._entries
 
     def find(self, key_hash: bytes) -> Optional[ParsedIndexEntry]:
-        for entry in self.entries:
-            if entry.valid and entry.key_hash == key_hash:
-                return entry
+        raw = self._raw
+        unpack_from = ENTRY.unpack_from
+        for way in range(self._ways):
+            kh, _ver, _region, _offset, _size, eflags = unpack_from(
+                raw, BUCKET_HEADER_BYTES + way * ENTRY_BYTES)
+            if (eflags & ENTRY_FLAG_VALID) and kh == key_hash:
+                return self._parse_way(way)
         return None
 
 
@@ -75,18 +106,8 @@ def parse_bucket(data: bytes, ways: int) -> ParsedBucket:
         raise ValueError(
             f"bucket bytes too short: {len(data)} < {bucket_size(ways)}")
     magic, config_id, flags, _reserved = BUCKET_HEADER.unpack_from(data, 0)
-    entries: List[ParsedIndexEntry] = []
-    for way in range(ways):
-        off = BUCKET_HEADER_BYTES + way * ENTRY_BYTES
-        kh, ver, region, offset, size, eflags = ENTRY.unpack_from(data, off)
-        entries.append(ParsedIndexEntry(
-            way=way, key_hash=kh, version=VersionNumber.unpack(ver),
-            region_id=region, offset=offset, size=size,
-            valid=bool(eflags & ENTRY_FLAG_VALID)))
-    return ParsedBucket(config_id=config_id,
-                        overflow=bool(flags & FLAG_OVERFLOW),
-                        entries=tuple(entries),
-                        magic_ok=(magic == BUCKET_MAGIC))
+    return ParsedBucket(config_id, bool(flags & FLAG_OVERFLOW),
+                        magic == BUCKET_MAGIC, data, ways)
 
 
 def make_scar_program(ways: int):

@@ -216,6 +216,22 @@ class BackendHealth:
             if self.on_event is not None:
                 self.on_event(self.task, "enter")
 
+    def reset_for_new_incarnation(self) -> None:
+        """The task restarted: drop the dead process's failure history.
+
+        Quarantine guards against the *same* incarnation flapping (a gray
+        link that handshakes fine but fails data ops). Pinning a freshly
+        restarted process to its predecessor's record turns one tolerated
+        failure into two: the client shuns a healthy replica while a
+        second, real fault is live — exactly the double-failure R=3.2
+        cannot mask.
+        """
+        self.consecutive_failures = 0
+        self.consecutive_successes = 0
+        self._cooldown = self.policy.quarantine_base
+        if self._quarantined_until is not None:
+            self._exit_quarantine()
+
     def _exit_quarantine(self) -> None:
         self._quarantined_until = None
         if self.on_event is not None:

@@ -115,10 +115,24 @@ class Fabric:
         # Optional MetricsRegistry (set by Cell): drop/corrupt/slow events
         # are counted here so a chaos run is readable from render_metrics().
         self.registry = None
+        self._series_cache: Dict[tuple, object] = {}
+        self._series_registry = None
 
     def _count(self, name: str, help_text: str, **labels) -> None:
-        if self.registry is not None:
-            self.registry.counter(name, help_text).labels(**labels).inc()
+        registry = self.registry
+        if registry is None:
+            return
+        if registry is not self._series_registry:
+            # Cell assigns the registry after construction; drop handles
+            # bound against a previous one.
+            self._series_cache = {}
+            self._series_registry = registry
+        key = (name,) + tuple(sorted(labels.items()))
+        series = self._series_cache.get(key)
+        if series is None:
+            series = self._series_cache[key] = \
+                registry.counter(name, help_text).labels(**labels)
+        series.inc()
 
     def _count_drop(self, reason: str) -> None:
         self._count("cliquemap_fabric_dropped_total",
@@ -205,9 +219,7 @@ class Fabric:
             egress = span.child("egress")
             yield from src.nic.egress.transmit(wire, priority)
             egress.finish()
-            same_zone = getattr(src, "zone", "local") == \
-                getattr(dst, "zone", "local")
-            delay = self.config.one_way_delay if same_zone \
+            delay = self.config.one_way_delay if src.zone == dst.zone \
                 else self.config.inter_zone_delay
             if self.config.delay_jitter:
                 delay += self._rand.uniform(0.0, self.config.delay_jitter)
@@ -247,6 +259,8 @@ class Fabric:
         self._partitions.clear()
 
     def is_partitioned(self, a: Host, b: Host) -> bool:
+        if not self._partitions:  # the common healthy-fabric case
+            return False
         return frozenset((a.name, b.name)) in self._partitions
 
     # -- gray failures --------------------------------------------------------
@@ -274,6 +288,8 @@ class Fabric:
 
     def fault_between(self, src: Host, dst: Host) -> Optional[LinkFault]:
         """The effective (stacked) gray fault for one delivery, or None."""
+        if not self._link_faults and not self._host_faults:
+            return None  # the common healthy-fabric case
         fault = None
         for candidate in (self._link_faults.get(
                               frozenset((src.name, dst.name))),

@@ -8,17 +8,29 @@ The model follows the classic generator-process style (as popularized by
 simpy, re-implemented from scratch): a *process* is a generator that yields
 :class:`Event` objects and is resumed when the yielded event triggers.
 Simulated time is a float number of seconds.
+
+Scheduling is closure-free on the hot path: every queue entry is a
+``(time, seq, fn, args)`` tuple, zero-delay actions bypass the heap through
+a same-time FIFO ready-queue, and :meth:`Simulator.sleep` recycles timeout
+objects through a pool for tight retry/backoff loops. The global execution
+order is still exactly sort-by-``(time, seq)`` — the ready-queue is an
+ordering-preserving fast path, so a given seed produces the same event
+sequence as a pure-heap kernel.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
+# What a process "waits on" before its first step has run; lets
+# interrupt() cancel the pending start the same way it cancels any
+# other pending wake-up (by changing the identity the callback checks).
+_PENDING_START = object()
 
 class SimulationError(Exception):
     """Raised for misuse of the simulation kernel."""
-
 
 class Interrupt(Exception):
     """Thrown into a process when another process interrupts it.
@@ -31,10 +43,8 @@ class Interrupt(Exception):
         super().__init__(cause)
         self.cause = cause
 
-
 class StopSimulation(Exception):
     """Internal: raised to stop :meth:`Simulator.run` at an ``until`` event."""
-
 
 class Event:
     """A one-shot occurrence in simulated time.
@@ -49,7 +59,7 @@ class Event:
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self.callbacks: Optional[List[Tuple[Callable, tuple]]] = []
         self._value: Any = None
         self._ok: bool = True
         self._triggered = False
@@ -81,11 +91,16 @@ class Event:
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
         if self._triggered:
-            raise SimulationError("event already triggered")
+            raise SimulationError(
+                f"event already triggered (now={self.sim.now!r})")
         self._triggered = True
         self._ok = True
         self._value = value
-        self.sim._schedule_event(self)
+        # Inlined sim._schedule_event(self): a zero-delay ready-queue
+        # append — every event trigger in the system passes through here.
+        sim = self.sim
+        sim._seq += 1
+        sim._ready.append((sim._seq, self._process, ()))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -93,47 +108,108 @@ class Event:
         if not isinstance(exc, BaseException):
             raise SimulationError("fail() requires an exception instance")
         if self._triggered:
-            raise SimulationError("event already triggered")
+            raise SimulationError(
+                f"event already triggered (now={self.sim.now!r})")
         self._triggered = True
         self._ok = False
         self._value = exc
-        self.sim._schedule_event(self)
+        sim = self.sim
+        sim._seq += 1
+        sim._ready.append((sim._seq, self._process, ()))
         return self
 
-    def add_callback(self, fn: Callable[["Event"], None]) -> None:
-        """Run ``fn(event)`` when the event is processed.
+    def add_callback(self, fn: Callable, *args: Any) -> None:
+        """Run ``fn(event, *args)`` when the event is processed.
 
         If the event has already been processed the callback is scheduled to
         run immediately (at the current simulated time).
         """
         if self.callbacks is None:
-            self.sim.call_soon(fn, self)
+            self.sim.call_soon(fn, self, *args)
         else:
-            self.callbacks.append(fn)
+            self.callbacks.append((fn, args))
 
     def _process(self) -> None:
         callbacks, self.callbacks = self.callbacks, None
         self._processed = True
         if not self._ok and not callbacks and not self.defused:
             raise self._value
-        for fn in callbacks or ():
-            fn(self)
-
+        for fn, args in callbacks or ():
+            fn(self, *args)
 
 class Timeout(Event):
-    """An event that triggers ``delay`` seconds in the future."""
+    """An event that triggers ``delay`` seconds in the future.
+
+    Negative delays are validated exactly once, here at scheduling time
+    (mirroring :meth:`Simulator._push`), instead of the pre-rewrite
+    double check in both the event constructor and the scheduler.
+    """
 
     __slots__ = ()
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
-        if delay < 0:
-            raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self._triggered = True
-        self._ok = True
+        # Inlined Event.__init__ + trigger + Simulator._push: timeouts are
+        # the single most allocated event type, so skip the double field
+        # initialization and the extra scheduling call frame.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._schedule_event(self, delay)
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self.defused = False
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule {delay!r}s in the past (now={sim.now!r})")
+        sim._seq += 1
+        if delay == 0:
+            sim._ready.append((sim._seq, self._process, ()))
+        else:
+            heapq.heappush(
+                sim._heap, (sim.now + delay, sim._seq, self._process, ()))
 
+    def _process(self) -> None:
+        # Timeouts always succeed, so the base class's unhandled-failure
+        # bookkeeping is dead weight here.
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        for fn, args in callbacks or ():
+            fn(self, *args)
+
+class _PooledTimeout(Timeout):
+    """A recyclable timeout for one-shot sleeps (see :meth:`Simulator.sleep`).
+
+    After its callbacks run, the object is returned to the simulator's pool
+    and may be re-armed with a new value. It must therefore only be consumed
+    by the single process that yields it, never stored, re-yielded, or handed
+    to :meth:`Simulator.any_of` / :meth:`Simulator.all_of` (conditions read
+    child values after later children fire, by which time a pooled timeout
+    may already carry the value of an unrelated sleep).
+    """
+
+    __slots__ = ("_bound_process",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        super().__init__(sim, delay, value)
+        # Bound once: re-arming from the pool schedules this handle
+        # without creating a fresh bound method per sleep.
+        self._bound_process = self._process
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        for fn, args in callbacks or ():
+            fn(self, *args)
+        # Inlined Simulator._recycle: reset and return to the pool.
+        sim = self.sim
+        pool = sim._timeout_pool
+        if len(pool) < sim._POOL_MAX:
+            self.callbacks = []
+            self._value = None
+            self._triggered = False
+            self._processed = False
+            self.defused = False
+            pool.append(self)
 
 class Process(Event):
     """A running generator process; also an event that triggers on exit.
@@ -142,18 +218,26 @@ class Process(Event):
     the exception that escaped it.
     """
 
-    __slots__ = ("_gen", "_wait_serial", "name")
+    __slots__ = ("_gen", "_send", "_throw", "_wait_cb", "_waiting_on",
+                 "name")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         super().__init__(sim)
         if not hasattr(gen, "send"):
             raise SimulationError("process() requires a generator")
         self._gen = gen
+        # Bound once per process: every resume/wait re-uses these handles
+        # instead of allocating a bound method (or closure) per step.
+        self._send = gen.send
+        self._throw = gen.throw
+        self._wait_cb = self._on_wait_done
         self.name = name or getattr(gen, "__name__", "process")
-        # Serial number of the wait we are parked on; bumped by interrupt()
+        # Identity of the event we are parked on; cleared by interrupt()
         # so that a late-firing original event cannot double-resume us.
-        self._wait_serial = 0
-        sim.call_soon(self._resume_with, None, self._wait_serial)
+        # (Replaces the old per-wait serial number: an identity check
+        # costs no allocation on the wait registration path.)
+        self._waiting_on: Any = _PENDING_START
+        sim.call_soon(self._start)
 
     @property
     def is_alive(self) -> bool:
@@ -163,32 +247,25 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if self._triggered:
             return
-        self._wait_serial += 1
-        self.sim.call_soon(self._throw_with, Interrupt(cause),
-                           self._wait_serial)
+        self._waiting_on = None  # invalidate any pending wake-up
+        self.sim.call_soon(self._throw_with, Interrupt(cause))
 
-    def _on_wait_done(self, serial: int, event: Event) -> None:
-        if serial != self._wait_serial or self._triggered:
+    def _start(self) -> None:
+        if self._waiting_on is not _PENDING_START or self._triggered:
+            return  # interrupted (or killed) before the first step
+        self._step(self._send, None)
+
+    def _on_wait_done(self, event: Event) -> None:
+        if event is not self._waiting_on or self._triggered:
             return  # stale wake-up (we were interrupted meanwhile)
-        if event.ok:
-            self._resume_with(event.value, serial)
-        else:
-            event.defused = True
-            self._throw_with(event.value, serial)
-
-    def _resume_with(self, value: Any, serial: int) -> None:
-        if serial != self._wait_serial or self._triggered:
-            return
-        self._step(lambda: self._gen.send(value))
-
-    def _throw_with(self, exc: BaseException, serial: int) -> None:
-        if self._triggered:
-            return
-        self._step(lambda: self._gen.throw(exc))
-
-    def _step(self, advance: Callable[[], Any]) -> None:
+        # Body of _step() inlined: this is the resume path every process
+        # wait in the simulation funnels through.
         try:
-            target = advance()
+            if event._ok:
+                target = self._send(event._value)
+            else:
+                event.defused = True
+                target = self._throw(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -202,10 +279,42 @@ class Process(Event):
         if target is self:
             self.fail(SimulationError("process cannot wait on itself"))
             return
-        self._wait_serial += 1
-        serial = self._wait_serial
-        target.add_callback(lambda ev: self._on_wait_done(serial, ev))
+        self._waiting_on = target
+        cbs = target.callbacks
+        if cbs is None:
+            self.sim.call_soon(self._wait_cb, target)
+        else:
+            cbs.append((self._wait_cb, ()))
 
+    def _throw_with(self, exc: BaseException) -> None:
+        if self._triggered:
+            return
+        self._step(self._throw, exc)
+
+    def _step(self, advance: Callable[[Any], Any], arg: Any) -> None:
+        try:
+            target = advance(arg)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - process died
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.fail(SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        if target is self:
+            self.fail(SimulationError("process cannot wait on itself"))
+            return
+        self._waiting_on = target
+        # Inlined target.add_callback(self._wait_cb) — this is the single
+        # hottest call site in the kernel.
+        cbs = target.callbacks
+        if cbs is None:
+            self.sim.call_soon(self._wait_cb, target)
+        else:
+            cbs.append((self._wait_cb, ()))
 
 class Condition(Event):
     """Base for composite events over a set of child events."""
@@ -219,12 +328,16 @@ class Condition(Event):
         if not self._events:
             self.succeed([])
             return
+        child_done = self._child_done  # bound once for the whole fan-out
         for ev in self._events:
-            ev.add_callback(self._child_done)
+            cbs = ev.callbacks
+            if cbs is None:
+                sim.call_soon(child_done, ev)
+            else:
+                cbs.append((child_done, ()))
 
     def _child_done(self, event: Event) -> None:
         raise NotImplementedError
-
 
 class AllOf(Condition):
     """Triggers when every child has triggered; value is the list of values.
@@ -236,17 +349,16 @@ class AllOf(Condition):
 
     def _child_done(self, event: Event) -> None:
         if self._triggered:
-            if not event.ok:
+            if not event._ok:
                 event.defused = True
             return
-        if not event.ok:
+        if not event._ok:
             event.defused = True
-            self.fail(event.value)
+            self.fail(event._value)
             return
         self._remaining -= 1
         if self._remaining == 0:
-            self.succeed([ev.value for ev in self._events])
-
+            self.succeed([ev._value for ev in self._events])
 
 class AnyOf(Condition):
     """Triggers when the first child triggers; value is ``(event, value)``.
@@ -258,45 +370,61 @@ class AnyOf(Condition):
 
     def _child_done(self, event: Event) -> None:
         if self._triggered:
-            if not event.ok:
+            if not event._ok:
                 event.defused = True
             return
-        if event.ok:
-            self.succeed((event, event.value))
+        if event._ok:
+            self.succeed((event, event._value))
         else:
             event.defused = True
-            self.fail(event.value)
-
+            self.fail(event._value)
 
 class Simulator:
-    """The event loop: a priority queue of (time, seq, action) entries."""
+    """The event loop: a time-ordered queue of ``(time, seq, fn, args)``.
+
+    Two structures back the queue: a binary heap for future entries and a
+    FIFO deque (the *ready queue*) for entries at the current time. The
+    zero-delay storm of process resumes and event callbacks never touches
+    the heap; the run loop interleaves the two by ``(time, seq)`` so the
+    observable order is identical to a single sorted queue.
+    """
+
+    _POOL_MAX = 256
 
     def __init__(self):
         self.now: float = 0.0
         self._heap: list = []
+        self._ready: deque = deque()
         self._seq = 0
         self._running = False
+        self._timeout_pool: list = []
 
     # -- scheduling ------------------------------------------------------
 
-    def _push(self, delay: float, action: Callable[[], None]) -> None:
+    def _push(self, delay: float, fn: Callable, args: tuple) -> None:
+        """Single validation point for all scheduling."""
         if delay < 0:
             # An entry before ``now`` would make simulated time run
             # backwards for everyone already scheduled.
-            raise SimulationError(f"cannot schedule {delay!r}s in the past")
+            raise SimulationError(
+                f"cannot schedule {delay!r}s in the past (now={self.now!r})")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, action))
+        if delay == 0:
+            self._ready.append((self._seq, fn, args))
+        else:
+            heapq.heappush(self._heap, (self.now + delay, self._seq, fn, args))
 
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
-        self._push(delay, event._process)
+        self._push(delay, event._process, ())
 
     def call_soon(self, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` at the current simulated time."""
-        self._push(0.0, lambda: fn(*args))
+        self._seq += 1
+        self._ready.append((self._seq, fn, args))
 
     def call_in(self, delay: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` after ``delay`` simulated seconds."""
-        self._push(delay, lambda: fn(*args))
+        self._push(delay, fn, args)
 
     # -- event constructors ----------------------------------------------
 
@@ -305,6 +433,33 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
+
+    def sleep(self, delay: float, value: Any = None) -> Timeout:
+        """A pooled one-shot timeout for retry/backoff loops.
+
+        The returned event is recycled as soon as its callbacks have run:
+        yield it from exactly one process and do not store it, re-yield it,
+        or pass it to :meth:`any_of` / :meth:`all_of` — use :meth:`timeout`
+        for anything longer-lived than a single ``yield``.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(
+                    f"cannot schedule {delay!r}s in the past "
+                    f"(now={self.now!r})")
+            ev = pool.pop()
+            ev._triggered = True
+            ev._value = value
+            self._seq += 1
+            if delay == 0:
+                self._ready.append((self._seq, ev._bound_process, ()))
+            else:
+                heapq.heappush(
+                    self._heap,
+                    (self.now + delay, self._seq, ev._bound_process, ()))
+            return ev
+        return _PooledTimeout(self, delay, value)
 
     def process(self, gen: Generator, name: str = "") -> Process:
         return Process(self, gen, name)
@@ -334,18 +489,33 @@ class Simulator:
         elif until is not None:
             deadline = float(until)
             if deadline < self.now:
-                raise SimulationError("until lies in the past")
+                raise SimulationError(
+                    f"until={deadline!r} lies in the past (now={self.now!r})")
 
+        heap = self._heap
+        ready = self._ready
+        heappop = heapq.heappop
         self._running = True
         try:
-            while self._heap:
-                at, _seq, action = self._heap[0]
-                if deadline is not None and at > deadline:
+            while True:
+                if ready:
+                    # Interleave with heap entries already due at ``now``:
+                    # global order is exactly sort-by-(time, seq).
+                    if heap and heap[0][0] <= self.now \
+                            and heap[0][1] < ready[0][0]:
+                        _at, _seq, fn, args = heappop(heap)
+                    else:
+                        _seq, fn, args = ready.popleft()
+                elif heap:
+                    at = heap[0][0]
+                    if deadline is not None and at > deadline:
+                        break
+                    _at, _seq, fn, args = heappop(heap)
+                    self.now = at
+                else:
                     break
-                heapq.heappop(self._heap)
-                self.now = at
                 try:
-                    action()
+                    fn(*args)
                 except StopSimulation:
                     break
             if deadline is not None and self.now < deadline:
@@ -356,7 +526,8 @@ class Simulator:
         if stop_event is not None:
             if not stop_event.triggered:
                 raise SimulationError(
-                    "simulation ended before the until-event triggered")
+                    "simulation ended before the until-event triggered "
+                    f"(now={self.now!r})")
             if not stop_event.ok:
                 raise stop_event.value
             return stop_event.value
@@ -368,4 +539,6 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled action, or ``inf`` when idle."""
+        if self._ready:
+            return self.now
         return self._heap[0][0] if self._heap else float("inf")

@@ -38,6 +38,11 @@ class RandomStream:
     def random(self) -> float:
         return self._rng.random()
 
+    def random_n(self, n: int) -> List[float]:
+        """``n`` uniform draws in one call (same stream as :meth:`random`)."""
+        rand = self._rng.random
+        return [rand() for _ in range(n)]
+
     def choice(self, seq: Sequence):
         return self._rng.choice(seq)
 
@@ -90,6 +95,12 @@ class ZipfSampler:
     def sample(self) -> int:
         u = self._stream.random()
         return bisect.bisect_left(self._cdf, u)
+
+    def sample_n(self, n: int) -> List[int]:
+        """``n`` ranks in one bulk draw; same sequence as ``n`` samples."""
+        cdf = self._cdf
+        search = bisect.bisect_left
+        return [search(cdf, u) for u in self._stream.random_n(n)]
 
 
 class MixtureSizeDistribution:

@@ -14,6 +14,8 @@ Run with ``python -m repro.tools <command>``:
   the injected events, and the reaction metric tables.
 * ``perf``         — batched-vs-singleton multiget measurement; emits
   ``BENCH_multiget.json`` for the perf trajectory.
+* ``perf profile`` — run a scale workload under cProfile and print the
+  top-N hot spots (the starting point for optimization work).
 * ``model-check``  — explicit-state check of the R=3.2 protocol.
 """
 
@@ -227,6 +229,8 @@ def cmd_perf(args: argparse.Namespace) -> int:
     from ..analysis import (render_multiget_table, run_multiget_benchmark,
                             write_bench_json)
 
+    if args.mode == "profile":
+        return cmd_perf_profile(args)
     result = run_multiget_benchmark(num_keys=args.keys,
                                     transport=args.transport,
                                     value_bytes=args.value_bytes,
@@ -241,6 +245,19 @@ def cmd_perf(args: argparse.Namespace) -> int:
         print("FAIL: batching speedup below the 2x CPU / 1.5x latency "
               "floors")
     return 0 if ok else 1
+
+
+def cmd_perf_profile(args: argparse.Namespace) -> int:
+    from ..analysis import profile_hotspots
+
+    result = profile_hotspots(top=args.top, transport=args.transport,
+                              num_hosts=args.hosts, ops=args.ops,
+                              seed=args.seed, sort=args.sort)
+    print(f"workload: transport={args.transport} hosts={args.hosts} "
+          f"ops={result['ops']:,} events={result['events']:,} "
+          f"wall={result['wall_seconds']:.2f}s "
+          f"events/s={result['events_per_sec']:,.0f}")
+    return 0
 
 
 def cmd_model_check(args: argparse.Namespace) -> int:
@@ -327,8 +344,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("perf",
-                       help="batched-vs-singleton multiget perf datapoint "
-                            "(writes BENCH_multiget.json)")
+                       help="perf tooling: multiget datapoint (default, "
+                            "writes BENCH_multiget.json) or 'profile' to "
+                            "run a workload under cProfile")
+    p.add_argument("mode", nargs="?", default="multiget",
+                   choices=["multiget", "profile"],
+                   help="'multiget' (default) measures batched-vs-"
+                        "singleton; 'profile' prints top-N cProfile hot "
+                        "spots of a scale workload")
     p.add_argument("--keys", type=int, default=32)
     p.add_argument("--value-bytes", type=int, default=128)
     p.add_argument("--shards", type=int, default=6)
@@ -337,6 +360,15 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["pony", "1rma", "rdma"])
     p.add_argument("--output", default="BENCH_multiget.json",
                    help="perf-trajectory JSON path ('' to skip writing)")
+    p.add_argument("--top", type=int, default=25,
+                   help="profile mode: number of hot spots to print")
+    p.add_argument("--sort", default="cumulative",
+                   choices=["cumulative", "tottime", "ncalls"],
+                   help="profile mode: pstats sort order")
+    p.add_argument("--hosts", type=int, default=24,
+                   help="profile mode: cell size for the workload")
+    p.add_argument("--ops", type=int, default=2000,
+                   help="profile mode: ops to drive under the profiler")
     p.set_defaults(func=cmd_perf)
 
     p = sub.add_parser("model-check",

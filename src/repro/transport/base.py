@@ -61,6 +61,7 @@ class Transport:
         # Optional MetricsRegistry; the Cell wires this up so batched-op
         # amortization is observable per transport.
         self.registry = None
+        self._batch_handles = None
 
     def attach(self, host: Host) -> RmaEndpoint:
         """Expose a host for RMA access; returns its endpoint."""
@@ -152,15 +153,25 @@ class Transport:
         """Account one coalesced op covering ``n`` entries."""
         self.counters.batched_reads += 1
         self.counters.batched_keys += n
-        if self.registry is not None and n > 0:
-            self.registry.counter(
-                "cliquemap_batched_keys_total",
-                "Keys carried inside coalesced multi-entry transport ops",
-            ).labels(transport=self.name).inc(n)
-            self.registry.histogram(
-                "cliquemap_batch_amortized_engine_cpu_seconds",
-                "Per-key engine/NIC CPU of a coalesced op (total / keys)",
-            ).labels(transport=self.name).observe(engine_seconds / n)
+        registry = self.registry
+        if registry is None or n <= 0:
+            return
+        handles = self._batch_handles
+        if handles is None or handles[0] is not registry:
+            # Cell assigns the registry after construction; bind the two
+            # series once per registry instead of resolving per batch.
+            handles = self._batch_handles = (
+                registry,
+                registry.counter(
+                    "cliquemap_batched_keys_total",
+                    "Keys carried inside coalesced multi-entry transport "
+                    "ops").labels(transport=self.name),
+                registry.histogram(
+                    "cliquemap_batch_amortized_engine_cpu_seconds",
+                    "Per-key engine/NIC CPU of a coalesced op "
+                    "(total / keys)").labels(transport=self.name))
+        handles[1].inc(n)
+        handles[2].observe(engine_seconds / n)
 
     @staticmethod
     def _batch_request_bytes(n: int) -> int:

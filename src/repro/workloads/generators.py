@@ -29,15 +29,23 @@ class KeySpace:
         self.num_keys = num_keys
         self.prefix = prefix
         self._sampler = ZipfSampler(stream, num_keys, zipf_s)
+        # Zipf traffic revisits a small head of the corpus constantly;
+        # cache the encoded key bytes instead of re-rendering per draw.
+        self._key_cache: dict = {}
 
     def key(self, i: int) -> bytes:
-        return self.prefix + b"-%d" % i
+        cached = self._key_cache.get(i)
+        if cached is None:
+            cached = self._key_cache[i] = self.prefix + b"-%d" % i
+        return cached
 
     def sample_key(self) -> bytes:
         return self.key(self._sampler.sample())
 
     def sample_keys(self, n: int) -> List[bytes]:
-        return [self.sample_key() for _ in range(n)]
+        """Draw ``n`` keys in one bulk pass over the zipf sampler."""
+        key = self.key
+        return [key(r) for r in self._sampler.sample_n(n)]
 
     def all_keys(self) -> List[bytes]:
         return [self.key(i) for i in range(self.num_keys)]

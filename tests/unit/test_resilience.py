@@ -127,6 +127,59 @@ def test_health_quarantine_expires_on_cooldown():
     assert health.available()
 
 
+def test_health_reset_for_new_incarnation_clears_quarantine():
+    clock = Clock()
+    events = []
+    policy = HealthPolicy(failure_threshold=1, quarantine_base=10e-3,
+                          quarantine_max=80e-3, quarantine_backoff=2.0)
+    health = BackendHealth("backend-0", clock, policy,
+                           on_event=lambda t, e: events.append((t, e)))
+    health.mark_connected()
+    health.record_failure()
+    assert health.quarantined
+    # The task restarts: the old process's record dies with it. The new
+    # incarnation starts with a clean scoreboard and the base cooldown.
+    health.reset_for_new_incarnation()
+    assert not health.quarantined
+    assert health.consecutive_failures == 0
+    assert events == [("backend-0", "enter"), ("backend-0", "exit")]
+    health.record_failure()
+    clock.now += 10e-3                  # base cooldown, not the escalated one
+    assert not health.quarantined
+
+
+def test_restarted_backend_is_readmitted_despite_quarantine():
+    """A crashed task's quarantine must not outlive the process: after a
+    restart + recovery, a second fault elsewhere stays a single failure."""
+    from repro.core import (Cell, CellSpec, GetStatus, LookupStrategy,
+                            RepairConfig, ReplicationMode)
+    from repro.core.repair import RepairScanner
+
+    cell = Cell(CellSpec(mode=ReplicationMode.R3_2, num_shards=3,
+                         transport="pony",
+                         repair_config=RepairConfig(enabled=False)))
+    client = cell.connect_client(strategy=LookupStrategy.TWO_R)
+
+    def driver():
+        yield from client.set(b"k", b"v")
+        cell.backend_by_task("backend-0").crash()
+        # Enough failed legs to trip (and escalate) backend-0 quarantine.
+        for _ in range(6):
+            yield from client.set(b"k", b"v")
+        cell.restart_backend_task("backend-0", shard=0)
+        recovery = RepairScanner(cell.sim, cell,
+                                 cell.backend_by_task("backend-0"))
+        yield from recovery.restart_recovery()
+        yield cell.sim.timeout(10e-3)
+        yield from recovery.scan_once()
+        # Second, non-overlapping fault: R=3.2 must still serve.
+        cell.backend_by_task("backend-2").crash()
+        result = yield from client.get(b"k")
+        assert result.status is GetStatus.HIT, result
+
+    cell.sim.run(until=cell.sim.process(driver()))
+
+
 def test_health_cooldown_escalates_and_resets_on_success():
     clock = Clock()
     policy = HealthPolicy(failure_threshold=1, quarantine_base=10e-3,
