@@ -41,8 +41,10 @@ EQUIV_OPS = 2_000
 
 
 def _run_scale():
+    # The pony run carries the observability plane in scrape-only form:
+    # the 200-host budget must hold with time-series scraping enabled.
     pony = run_scale_workload(transport="pony", num_hosts=NUM_HOSTS,
-                              ops=PONY_OPS, batch=8)
+                              ops=PONY_OPS, batch=8, observe=True)
     onerma = run_scale_workload(transport="1rma", num_hosts=NUM_HOSTS,
                                 ops=ONERMA_OPS, batch=8)
     return {"pony": pony, "1rma": onerma}
@@ -62,7 +64,8 @@ def bench_scale_cell(benchmark):
               f"wall={run['wall_seconds']:.1f}s "
               f"events/s={run['events_per_sec']:,.0f} "
               f"sim-ops/wall-s={run['ops_per_wall_sec']:,.0f} "
-              f"hits={run['hits']:,} errors={run['errors']}")
+              f"hits={run['hits']:,} errors={run['errors']} "
+              f"scrapes={run['scrapes']}")
     print(f"  total ops={total_ops:,} wall={total_wall:.1f}s "
           f"(budget {WALL_BUDGET_SECONDS:.0f}s)")
 
@@ -97,16 +100,27 @@ def bench_scale_cell(benchmark):
 
 
 def bench_scale_digest_matches_legacy_kernel(benchmark):
-    """Same seed, same outcomes: the fast path changes no behavior."""
-    def both():
+    """Same seed, same outcomes: the fast path changes no behavior, and
+    neither does enabling time-series scraping (clock taps consume no
+    scheduling sequence numbers)."""
+    def arms():
         live = run_scale_workload(num_hosts=EQUIV_HOSTS, ops=EQUIV_OPS)
         legacy = run_scale_workload(num_hosts=EQUIV_HOSTS, ops=EQUIV_OPS,
                                     sim=LegacySimulator())
-        return live, legacy
+        observed = run_scale_workload(num_hosts=EQUIV_HOSTS, ops=EQUIV_OPS,
+                                      observe=True)
+        return live, legacy, observed
 
-    live, legacy = run_once(benchmark, both)
-    print(f"\n  live   digest={live['digest']} events={live['events']:,}")
-    print(f"  legacy digest={legacy['digest']} events={legacy['events']:,}")
+    live, legacy, observed = run_once(benchmark, arms)
+    print(f"\n  live     digest={live['digest']} events={live['events']:,}")
+    print(f"  legacy   digest={legacy['digest']} "
+          f"events={legacy['events']:,}")
+    print(f"  observed digest={observed['digest']} "
+          f"events={observed['events']:,} scrapes={observed['scrapes']:,}")
     assert live["digest"] == legacy["digest"], (live, legacy)
     assert live["events"] == legacy["events"], (live, legacy)
     assert live["sim_seconds"] == legacy["sim_seconds"], (live, legacy)
+    assert observed["digest"] == live["digest"], (observed, live)
+    assert observed["events"] == live["events"], (observed, live)
+    assert observed["sim_seconds"] == live["sim_seconds"], (observed, live)
+    assert observed["scrapes"] > 0, observed

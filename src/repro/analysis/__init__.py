@@ -6,15 +6,18 @@ from .perf import (compare_kernel_stress, profile_hotspots,
                    render_multiget_table, run_kernel_stress,
                    run_multiget_benchmark, run_scale_workload,
                    write_bench_json)
-from .reporting import (render_metrics, render_percentile_lines,
-                        render_series, render_table)
+from .reporting import (render_alerts, render_metrics,
+                        render_percentile_lines, render_series,
+                        render_sli, render_table, render_timeseries,
+                        sparkline)
 from .stats import (CounterSeries, LatencyRecorder, TimeSeries, cdf_points,
                     cpu_ns_per_op, cpu_us_per_op)
 
 __all__ = [
     "BackendSnapshot", "CellSnapshot", "ClientSnapshot", "snapshot_cell",
     "render_metrics", "render_percentile_lines", "render_series",
-    "render_table",
+    "render_table", "render_alerts", "render_sli", "render_timeseries",
+    "sparkline",
     "CounterSeries", "LatencyRecorder", "TimeSeries", "cdf_points",
     "cpu_ns_per_op", "cpu_us_per_op",
     "run_multiget_benchmark", "render_multiget_table", "write_bench_json",

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from .reporting import render_table
+from .reporting import render_alerts, render_sli, render_table
 
 
 @dataclass
@@ -60,6 +60,10 @@ class CellSnapshot:
     # Full telemetry registry export (``cell.metrics.snapshot()``): one
     # entry per metric family, each with its labeled series.
     metrics: Dict[str, dict] = field(default_factory=dict)
+    # When the cell runs the observability plane: its SLI summary and
+    # the alert transitions so far (dicts from ``AlertEvent.to_dict``).
+    sli: Optional[dict] = None
+    alerts: List[dict] = field(default_factory=list)
 
     # -- aggregates -----------------------------------------------------------
 
@@ -115,6 +119,10 @@ class CellSnapshot:
             parts.append(render_table(
                 "clients", ["client", "gets", "hit rate", "retries",
                             "torn reads", "sets"], client_rows))
+        if self.sli is not None:
+            parts.append(render_sli("SLIs (prober vantage)", self.sli))
+        if self.alerts:
+            parts.append(render_alerts("SLO alerts", self.alerts))
         return "\n".join(parts)
 
 
@@ -158,7 +166,11 @@ def snapshot_cell(cell, clients=()) -> CellSnapshot:
             torn_reads=stats["torn_reads"], sets=stats["sets"]))
     config = cell.config_store.peek(cell.spec.name)
     registry = getattr(cell, "metrics", None)
+    plane = getattr(cell, "observability", None)
     return CellSnapshot(time=cell.sim.now, config_id=config.config_id,
                         mode=config.mode.value, backends=backends,
                         clients=client_snaps,
-                        metrics=registry.snapshot() if registry else {})
+                        metrics=registry.snapshot() if registry else {},
+                        sli=plane.sli_summary() if plane else None,
+                        alerts=[e.to_dict() for e in plane.engine.events]
+                        if plane else [])

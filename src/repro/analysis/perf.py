@@ -283,7 +283,7 @@ def run_scale_workload(transport: str = "pony", num_hosts: int = 200,
                        ops: int = 50000, seed: int = 1, sim=None,
                        num_clients: int = 8, batch: int = 4,
                        num_keys: int = 1024, value_bytes: int = 128,
-                       tracing: bool = False) -> Dict:
+                       tracing: bool = False, observe: bool = False) -> Dict:
     """Drive a paper-scale cell end-to-end and digest every op outcome.
 
     Builds a ``num_hosts``-backend cell (R=3 quorum), preloads a zipf
@@ -295,12 +295,19 @@ def run_scale_workload(transport: str = "pony", num_hosts: int = 200,
 
     ``sim`` injects an alternative simulator (the benchmarks pass the
     pre-optimization baseline kernel); ``None`` uses the live kernel.
+    ``observe`` attaches the observability plane in scrape-only form
+    (time-series scraper + SLO engine, no probers: prober traffic would
+    perturb the op digest); scraping rides a clock tap, so the digest
+    and event count stay identical to an unobserved run.
     """
     spec = CellSpec(transport=transport, num_shards=num_hosts,
                     mode=ReplicationMode.R3_2, seed=seed, tracing=tracing)
     wall_start = time.perf_counter()
     cell = Cell(spec, sim=sim)
     sim = cell.sim
+    if observe:
+        from ..observe import ObserveConfig
+        cell.observe(ObserveConfig(probers=0, scrape_interval=1e-3))
     keys = [b"sk-%05d" % i for i in range(num_keys)]
     value = bytes(value_bytes)
 
@@ -345,11 +352,13 @@ def run_scale_workload(transport: str = "pony", num_hosts: int = 200,
     start_sim = sim.now
     sim.run(until=sim.all_of(procs))
     sim_elapsed = sim.now - start_sim
+    scrapes = cell.observability.scraper.scrapes if observe else 0
     cell.close()
     wall = time.perf_counter() - wall_start
 
     return {
         "benchmark": "scale",
+        "scrapes": scrapes,
         "transport": transport,
         "num_hosts": num_hosts,
         "num_clients": num_clients,

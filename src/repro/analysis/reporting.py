@@ -98,6 +98,76 @@ def render_metrics(snapshot, title: str = "metrics") -> str:
     return "\n".join(parts)
 
 
+_SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 32) -> str:
+    """A unicode sparkline of a numeric series, resampled to ``width``."""
+    vals = [v for v in values if v == v]  # drop NaNs
+    if not vals:
+        return "(no data)"
+    if len(vals) > width:
+        step = len(vals) / width
+        vals = [vals[int(i * step)] for i in range(width)]
+    lo, hi = min(vals), max(vals)
+    span = (hi - lo) or 1.0
+    top = len(_SPARK_CHARS) - 1
+    return "".join(_SPARK_CHARS[int((v - lo) / span * top)] for v in vals)
+
+
+def render_timeseries(title: str, series_list, width: int = 32,
+                      max_rows: int = 40) -> str:
+    """Scraped :class:`~repro.telemetry.timeseries.TimeSeries` rows (or
+    their ``to_dict`` exports) as name / sparkline / last-value lines —
+    the dashboard surface for the observability plane."""
+    rows = []
+    for ts in series_list[:max_rows]:
+        if isinstance(ts, dict):
+            points = list(ts["points"])
+            name = (f"{ts['name']}{{{_labels_str(ts['labels'])}}}"
+                    f".{ts['field']}")
+        else:
+            points = list(ts.points)
+            name = f"{ts.name}{{{_labels_str(ts.labels)}}}.{ts.field}"
+        last = points[-1][1] if points else float("nan")
+        rows.append([name, sparkline([v for _t, v in points], width),
+                     _fmt(last)])
+    omitted = len(series_list) - len(rows)
+    out = render_table(title, ["series", "shape", "last"], rows)
+    if omitted > 0:
+        out += f"\n(+{omitted} more series)"
+    return out
+
+
+def render_alerts(title: str, alerts: Sequence[dict]) -> str:
+    """SLO alert transitions (dicts from ``AlertEvent.to_dict``)."""
+    if not alerts:
+        return f"== {title} ==\n(no alerts)"
+    rows = [[f"{a['at']:.3f}", a["kind"], a["cell"], a["objective"],
+             a["severity"], f"{a['burn_long']:.1f}",
+             f"{a['burn_short']:.1f}", f"{a['factor']:g}"]
+            for a in alerts]
+    return render_table(title,
+                        ["t (s)", "event", "cell", "objective", "severity",
+                         "burn(long)", "burn(short)", "threshold"], rows)
+
+
+def render_sli(title: str, sli_summary: dict) -> str:
+    """The plane's per-prober SLI summary as a table."""
+    rows = []
+    for label, sli in sorted(sli_summary.get("probers", {}).items()):
+        rows.append([label, int(sli.get("ops", 0)),
+                     f"{sli.get('availability', float('nan')):.5f}",
+                     f"{sli.get('latency_sli', float('nan')):.5f}"])
+    table = render_table(title,
+                         ["prober", "ops", "availability", "latency SLI"],
+                         rows)
+    return (f"{table}\n"
+            f"alerts fired={sli_summary.get('alerts_fired', 0)} "
+            f"active={sli_summary.get('alerts_active', 0)} "
+            f"scrapes={sli_summary.get('scrapes', 0)}")
+
+
 def _labels_str(labels) -> str:
     return ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
 

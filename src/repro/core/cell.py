@@ -94,6 +94,10 @@ class Cell:
         if self.transport is not None:
             self.transport.registry = self.metrics
 
+        # Attached lazily by observe(); None keeps the plane (scraper,
+        # probers, SLO engine) entirely out of un-observed runs.
+        self.observability = None
+
         self.backends: Dict[str, Backend] = {}
         self.scanners: Dict[str, RepairScanner] = {}
         self._spare_pool: List[str] = []
@@ -304,8 +308,24 @@ class Cell:
         self.sim.run(until=self.sim.process(client.connect()))
         return client
 
+    def observe(self, config=None):
+        """Attach (and start) the observability plane for this cell.
+
+        Idempotent: the first call builds and starts an
+        :class:`~repro.observe.ObservabilityPlane` from ``config`` (an
+        :class:`~repro.observe.ObserveConfig`, or None for defaults);
+        later calls return the existing plane. Imported lazily so cells
+        that never observe pay nothing for the plane.
+        """
+        if self.observability is None:
+            from ..observe import ObservabilityPlane
+            self.observability = ObservabilityPlane(self, config).start()
+        return self.observability
+
     def close(self) -> None:
         """Close every client created through this cell (idempotent)."""
+        if self.observability is not None:
+            self.observability.stop()
         for client in self._clients:
             client.close()
 

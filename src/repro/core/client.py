@@ -656,11 +656,10 @@ class CliqueMapClient:
                 view, [offset for _i, offset in entries], index_span))
             pending[proc] = (view, entries)
 
-        data_span = root.child("data", batch=n)
         data_procs: Dict[object, Tuple[int, str]] = {}
         fetching: set = set()
 
-        def start_data_fetch(i: int) -> None:
+        def start_data_fetch(i: int, span) -> None:
             decision = decisions[i]
             task = None
             if self.config.force_primary_data_fetch:
@@ -679,7 +678,7 @@ class CliqueMapClient:
             entry = next(v.entry for v in votes[i]
                          if v.task == task and v.kind is VoteKind.PRESENT)
             proc = self.sim.process(self._fetch_data(
-                self._views[task], entry, data_span))
+                self._views[task], entry, span))
             data_procs[proc] = (i, task)
             fetching.add(i)
 
@@ -708,8 +707,16 @@ class CliqueMapClient:
                         decisions[i] = QuorumDecision(
                             QuorumOutcome.UNDECIDED)
                         continue
-                    start_data_fetch(i)
+                    # Speculative: this key's data fetch starts while
+                    # sibling index fetches are still draining, so it is
+                    # recorded under the phase that initiated it — the
+                    # phase spans themselves stay contiguous.
+                    start_data_fetch(i, index_span)
         index_span.finish()
+        # The data phase starts at the simulated instant the index phase
+        # ends, so index.duration + data.duration == op latency (the PR 1
+        # sum-invariant, kept for the batched path).
+        data_span = root.child("data", batch=n)
 
         def finish_key(i: int, status: GetStatus, value, version) -> None:
             latency = self.sim.now - started
@@ -735,7 +742,7 @@ class CliqueMapClient:
                 decisions[i] = evaluate(votes[i], len(votes[i]), quorum)
                 if decisions[i].outcome is QuorumOutcome.PRESENT and \
                         i not in fetching:
-                    start_data_fetch(i)
+                    start_data_fetch(i, data_span)
             outcome = decisions[i].outcome
             if outcome is QuorumOutcome.PRESENT:
                 continue  # data fetch in flight
@@ -1563,6 +1570,11 @@ class CliqueMapClient:
         quorum = self.cell.mode.quorum
         self._h_batch_size_set.observe(n)
         root = self.tracer.start("set_multi", client=self.client_id, batch=n)
+        # The "build" phase covers the batch's client-side CPU (mutation
+        # build + value encoding); "mutate" then starts the instant it
+        # ends, so phase durations sum to the op latency (the PR 1
+        # sum-invariant, kept for the batched path).
+        build_span = root.child("build", batch=n)
         # One mutation-build charge for the whole batch — the per-op CPU
         # the coalesced path amortizes.
         yield from self.host.execute(self.config.costs.mutation_cpu,
@@ -1572,6 +1584,7 @@ class CliqueMapClient:
         for _key, value in items:
             encoded.append((yield from self._encode_value(value)))
             versions.append(self.versions.next())
+        build_span.finish()
 
         results: List[Optional[MutationResult]] = [None] * n
         fallback: Dict[int, str] = {}

@@ -18,6 +18,7 @@ caught — is printable from one object. Used by
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -57,6 +58,20 @@ class SoakConfig:
     repair_scan_interval: float = 0.25
     reader_config: ClientConfig = field(default_factory=lambda: ClientConfig(
         max_retries=6, default_deadline=5e-3))
+    # Attach the observability plane (scraper + probers + SLO burn-rate
+    # alerting) for the soak's duration; alerts and SLIs land in the
+    # report. ``observe_config`` is an
+    # :class:`~repro.observe.ObserveConfig` (None -> defaults).
+    observe: bool = False
+    observe_config: Optional[object] = None
+    # Replay this exact plan instead of generating one from the seed.
+    # Partition events index ``client_hosts`` as workload clients first
+    # (writers then reader), then prober hosts — so with the default 2
+    # writers, ``client=3`` partitions the first prober.
+    plan: Optional[FaultPlan] = None
+    # With observe: write timeseries.json + trace.json into this
+    # directory before the plane stops (used by the observe CLI and CI).
+    export_dir: Optional[str] = None
 
 
 @dataclass
@@ -71,6 +86,13 @@ class SoakReport:
     diverged: List[int]                  # keys where replicas disagree
     metric_totals: Dict[str, float]      # family -> total across series
     snapshot: dict                       # full registry snapshot
+    # Populated when the soak ran with config.observe: fired/resolved
+    # alert transitions (dicts, sim-timestamped), the SLI summary, the
+    # scraped time series, and any files written to export_dir.
+    alerts: List[dict] = field(default_factory=list)
+    sli: Optional[dict] = None
+    timeseries: Optional[dict] = None
+    exports: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -83,6 +105,12 @@ class SoakReport:
     def reaction_rows(self) -> List[List[str]]:
         return [[family, f"{total:g}"]
                 for family, total in self.metric_totals.items()]
+
+    def alert_rows(self) -> List[List[str]]:
+        return [[f"t={a['at']:.3f}s", a["kind"],
+                 f"{a['cell']}/{a['objective']}", a["severity"],
+                 f"burn={a['burn_long']:.1f}/{a['burn_short']:.1f}"]
+                for a in self.alerts]
 
 
 def _registry_totals(registry) -> Dict[str, float]:
@@ -102,6 +130,7 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
             enabled=True, scan_interval=config.repair_scan_interval),
         maintenance_config=MaintenanceConfig()))
     sim = cell.sim
+    plane = cell.observe(config.observe_config) if config.observe else None
     writers = [cell.connect_client() for _ in range(config.num_writers)]
     reader = cell.connect_client(strategy=GetStrategy.TWO_R,
                                  client_config=config.reader_config)
@@ -151,12 +180,16 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
                 bad_hits.append((i, result.value))
             yield sim.timeout(rand.uniform(0.5e-3, 2e-3))
 
-    plan = FaultPlan.generate(
+    plan = config.plan if config.plan is not None else FaultPlan.generate(
         stream.child("plan"), duration=config.duration,
         num_shards=config.num_shards, num_clients=len(clients),
         mean_interval=config.mean_fault_interval, kinds=config.kinds)
-    injector = FaultInjector(cell, plan,
-                             client_hosts=[c.host for c in clients])
+    # Workload clients first (generated plans only index those), then
+    # prober hosts so handcrafted plans can partition a prober.
+    fault_targets = [c.host for c in clients]
+    if plane is not None:
+        fault_targets.extend(p.client.host for p in plane.probers)
+    injector = FaultInjector(cell, plan, client_hosts=fault_targets)
 
     procs = [
         sim.process(writer_loop(writers[tag], tag,
@@ -193,6 +226,17 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
         if len(values) > 1:
             diverged.append(i)
 
+    exports: List[str] = []
+    if plane is not None and config.export_dir:
+        os.makedirs(config.export_dir, exist_ok=True)
+        ts_path = os.path.join(config.export_dir, "timeseries.json")
+        tr_path = os.path.join(config.export_dir, "trace.json")
+        plane.write_timeseries(ts_path)
+        plane.write_trace(tr_path)
+        exports = [ts_path, tr_path]
+    if plane is not None:
+        plane.stop()
+
     return SoakReport(
         config=config,
         plan_lines=plan.schedule_lines(),
@@ -205,4 +249,9 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
         unrecovered=unrecovered,
         diverged=diverged,
         metric_totals=_registry_totals(cell.metrics),
-        snapshot=cell.metrics.snapshot())
+        snapshot=cell.metrics.snapshot(),
+        alerts=[e.to_dict() for e in plane.engine.events]
+        if plane is not None else [],
+        sli=plane.sli_summary() if plane is not None else None,
+        timeseries=plane.scraper.to_dict() if plane is not None else None,
+        exports=exports)

@@ -1,0 +1,27 @@
+"""Continuous observability plane: probers, SLOs, burn-rate alerts.
+
+The paper's productionization story rests on continuous end-to-end
+probers, per-cell SLIs, and burn-rate alerting that surface gray
+failures and regressions before users do. This package reproduces that
+plane on top of :mod:`repro.telemetry`:
+
+* :mod:`repro.observe.prober` — synthetic per-cell probers issuing
+  dedicated-key GET/SET/erase traffic through the real client path.
+* :mod:`repro.observe.slo` — windowed SLO objectives with multi-window
+  burn-rate alert rules evaluated over scraped time series.
+* :mod:`repro.observe.plane` — the assembly: scraper + probers + SLO
+  engine, attached to a :class:`~repro.core.cell.Cell` via
+  ``cell.observe()``.
+"""
+
+from .plane import ObservabilityPlane, ObserveConfig
+from .prober import Prober, ProberConfig
+from .slo import (AlertEvent, BurnWindow, MetricTerm, SloEngine,
+                  SloObjective, default_objectives)
+
+__all__ = [
+    "ObservabilityPlane", "ObserveConfig",
+    "Prober", "ProberConfig",
+    "AlertEvent", "BurnWindow", "MetricTerm", "SloEngine", "SloObjective",
+    "default_objectives",
+]

@@ -1,0 +1,145 @@
+"""The observability plane assembly: scraper + probers + SLO engine.
+
+One :class:`ObservabilityPlane` serves one
+:class:`~repro.core.cell.Cell`. It wires a
+:class:`~repro.telemetry.timeseries.Scraper` onto the cell's simulator
+clock (a tap — no scheduled events, so enabling the plane's scraping
+leaves the run's event sequence untouched), starts per-cell synthetic
+:class:`~repro.observe.prober.Prober` loops, and attaches a
+:class:`~repro.observe.slo.SloEngine` that evaluates burn-rate rules on
+every scrape tick. Exports — ``timeseries.json``, Chrome-trace
+``trace.json``, Prometheus text — hang off the plane so the ``observe``
+CLI and CI smoke jobs have one surface to call.
+
+Normally reached through ``cell.observe(config)`` rather than built
+directly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..telemetry.export import prometheus_text, write_chrome_trace
+from ..telemetry.timeseries import Scraper
+from .prober import Prober, ProberConfig
+from .slo import SloEngine, SloObjective, default_objectives
+
+
+@dataclass
+class ObserveConfig:
+    """Everything the plane needs beyond the cell itself."""
+
+    scrape_interval: float = 1e-3       # sim-seconds between scrapes
+    retention_points: int = 4096        # ring-buffer depth per series
+    retention_seconds: Optional[float] = None
+    histogram_sum: bool = False         # scrape histogram sums too (O(n))
+    probers: int = 1                    # synthetic probers to run
+    prober: ProberConfig = field(default_factory=ProberConfig)
+    availability_target: float = 0.99
+    latency_target: float = 0.90
+    # Multi-window burn-rate rule shape (sim-seconds; see slo module).
+    alert_long_window: float = 0.4
+    alert_short_window: float = 0.1
+    alert_burn_factor: float = 2.0
+    # Override the stock objectives entirely (None -> defaults).
+    objectives: Optional[List[SloObjective]] = None
+    # Keep enough finished span trees for a useful trace export.
+    trace_retained: int = 512
+
+
+class ObservabilityPlane:
+    """Scraper + probers + SLO engine for one cell."""
+
+    def __init__(self, cell, config: Optional[ObserveConfig] = None):
+        self.cell = cell
+        self.config = config or ObserveConfig()
+        cfg = self.config
+        self.scraper = Scraper(
+            cell.metrics, interval=cfg.scrape_interval,
+            retention_points=cfg.retention_points,
+            retention_seconds=cfg.retention_seconds,
+            histogram_sum=cfg.histogram_sum)
+        self.probers: List[Prober] = []
+        for i in range(cfg.probers):
+            prober_cfg = ProberConfig(
+                interval=cfg.prober.interval,
+                num_keys=cfg.prober.num_keys,
+                value_bytes=cfg.prober.value_bytes,
+                deadline=cfg.prober.deadline,
+                latency_slo_seconds=cfg.prober.latency_slo_seconds,
+                erase_every=cfg.prober.erase_every,
+                label=f"prober-{i}")
+            self.probers.append(Prober(cell, prober_cfg))
+        objectives = cfg.objectives if cfg.objectives is not None else \
+            default_objectives(
+                cell.spec.name,
+                availability_target=cfg.availability_target,
+                latency_target=cfg.latency_target,
+                long_window=cfg.alert_long_window,
+                short_window=cfg.alert_short_window,
+                fire_factor=cfg.alert_burn_factor)
+        self.engine = SloEngine(self.scraper, objectives,
+                                registry=cell.metrics)
+        self.started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ObservabilityPlane":
+        """Install the scrape tap, attach the engine, start probers."""
+        if self.started:
+            return self
+        self.started = True
+        self.scraper.install(self.cell.sim)
+        self.engine.attach()
+        if self.cell.tracer.max_retained < self.config.trace_retained:
+            self.cell.tracer.max_retained = self.config.trace_retained
+        for prober in self.probers:
+            prober.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop probers and detach the scrape tap (idempotent)."""
+        if not self.started:
+            return
+        self.started = False
+        for prober in self.probers:
+            prober.stop()
+        self.scraper.uninstall()
+
+    # -- readbacks / exports -------------------------------------------------
+
+    def alerts(self):
+        """All fired alert events so far."""
+        return self.engine.fired()
+
+    def sli_summary(self) -> Dict[str, Any]:
+        """Per-prober SLIs plus alert totals, for tables and reports."""
+        probers = {p.config.label: p.sli() for p in self.probers}
+        return {
+            "cell": self.cell.spec.name,
+            "probers": probers,
+            "alerts_fired": len(self.engine.fired()),
+            "alerts_active": len(self.engine.active),
+            "scrapes": self.scraper.scrapes,
+        }
+
+    def write_timeseries(self, path: str) -> int:
+        """Write the scraped series (+ alert events) as JSON; returns
+        the series count."""
+        doc = self.scraper.to_dict()
+        doc["alerts"] = self.engine.to_dict()
+        doc["sli"] = self.sli_summary()
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        return len(doc["series"])
+
+    def write_trace(self, path: str) -> int:
+        """Write retained span trees as Chrome-trace JSON; returns the
+        event count."""
+        return write_chrome_trace(path, self.cell.tracer.finished,
+                                  process_name=self.cell.spec.name)
+
+    def prometheus_text(self) -> str:
+        return prometheus_text(self.cell.metrics)

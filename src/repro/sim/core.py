@@ -398,6 +398,15 @@ class Simulator:
         self._seq = 0
         self._running = False
         self._timeout_pool: list = []
+        # Clock taps: periodic observer callbacks fired synchronously as
+        # simulated time advances. They never touch the scheduling queue
+        # (no sequence numbers, no events), so a tapped run executes the
+        # exact same event order as an untapped one — the property the
+        # telemetry scraper's seed-for-seed parity guarantee rests on.
+        # With no taps registered the run loop pays one float compare
+        # per time advance.
+        self._taps: list = []                  # [next_at, interval, fn]
+        self._next_tap_at: float = float("inf")
 
     # -- scheduling ------------------------------------------------------
 
@@ -425,6 +434,64 @@ class Simulator:
     def call_in(self, delay: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` after ``delay`` simulated seconds."""
         self._push(delay, fn, args)
+
+    # -- clock taps -------------------------------------------------------
+
+    def add_tap(self, interval: float, fn: Callable[[float], Any],
+                first_at: Optional[float] = None) -> list:
+        """Register a periodic observer fired as simulated time advances.
+
+        ``fn(tick_time)`` runs synchronously inside the run loop whenever
+        time is about to advance past a tick (every ``interval`` seconds,
+        first at ``first_at`` or ``now + interval``). ``sim.now`` reads as
+        the tick time during the call. Taps are for *observation* —
+        sampling metrics, evaluating alert rules — and must not schedule
+        events or processes: they consume no scheduling sequence numbers,
+        which is what keeps a tapped run's event order and count identical
+        to an untapped run of the same seed.
+
+        Returns a handle for :meth:`remove_tap`.
+        """
+        if interval <= 0:
+            raise SimulationError(
+                f"tap interval must be > 0, got {interval!r}")
+        start = self.now + interval if first_at is None \
+            else max(first_at, self.now)
+        tap = [start, interval, fn]
+        self._taps.append(tap)
+        if start < self._next_tap_at:
+            self._next_tap_at = start
+        return tap
+
+    def remove_tap(self, tap: list) -> bool:
+        """Deregister a tap handle; True if it was registered."""
+        try:
+            self._taps.remove(tap)
+        except ValueError:
+            return False
+        self._next_tap_at = min((t[0] for t in self._taps),
+                                default=float("inf"))
+        return True
+
+    def _fire_taps(self, limit: float) -> None:
+        """Fire every tap tick due at or before ``limit``, in tick order."""
+        saved_now = self.now
+        while True:
+            due = None
+            for tap in self._taps:
+                if tap[0] <= limit and (due is None or tap[0] < due[0]):
+                    due = tap
+            if due is None:
+                break
+            at = due[0]
+            due[0] = at + due[1]
+            # Ticks read as "now" so tap callbacks that consult the clock
+            # (e.g. gauges stamped with sample time) see the tick instant.
+            self.now = at
+            due[2](at)
+        self.now = saved_now
+        self._next_tap_at = min((t[0] for t in self._taps),
+                                default=float("inf"))
 
     # -- event constructors ----------------------------------------------
 
@@ -510,6 +577,8 @@ class Simulator:
                     at = heap[0][0]
                     if deadline is not None and at > deadline:
                         break
+                    if at >= self._next_tap_at:
+                        self._fire_taps(at)
                     _at, _seq, fn, args = heappop(heap)
                     self.now = at
                 else:
@@ -519,6 +588,8 @@ class Simulator:
                 except StopSimulation:
                     break
             if deadline is not None and self.now < deadline:
+                if deadline >= self._next_tap_at:
+                    self._fire_taps(deadline)
                 self.now = deadline
         finally:
             self._running = False

@@ -7,12 +7,17 @@ client → transport → fabric → backend intervals of simulated time.
 See :mod:`repro.telemetry.metrics` and :mod:`repro.telemetry.trace`.
 """
 
-from .metrics import (Counter, Gauge, Histogram, MetricFamily,
-                      MetricsRegistry, default_registry)
+from .export import (chrome_trace, prometheus_text, write_chrome_trace)
+from .metrics import (DEFAULT_HISTOGRAM_SAMPLE_CAP, Counter, Gauge,
+                      Histogram, MetricFamily, MetricsRegistry,
+                      default_registry)
+from .timeseries import Scraper, TimeSeries
 from .trace import NULL_SPAN, Span, TraceContext, Tracer
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricFamily", "MetricsRegistry",
-    "default_registry",
+    "DEFAULT_HISTOGRAM_SAMPLE_CAP", "default_registry",
     "NULL_SPAN", "Span", "TraceContext", "Tracer",
+    "Scraper", "TimeSeries",
+    "chrome_trace", "prometheus_text", "write_chrome_trace",
 ]

@@ -8,9 +8,16 @@ consume. The paper's figures are all reads of exactly this kind of
 surface — latency percentiles, op counts, CPU per op — collected from
 production monitoring.
 
-Histograms retain raw samples (laptop-scale corpora make this cheap) so
-their percentiles agree *exactly* with :func:`repro.sim.percentile` and
-the ``analysis.stats`` recorders they replace.
+Histograms retain raw samples so their percentiles agree *exactly* with
+:func:`repro.sim.percentile` and the ``analysis.stats`` recorders they
+replace — up to a configurable per-series cap
+(:data:`DEFAULT_HISTOGRAM_SAMPLE_CAP`). Beyond the cap the series keeps
+a uniform reservoir (Algorithm R, seeded deterministically from the
+family name and labels so identical runs keep identical reservoirs):
+``count`` and ``sum`` stay exact forever, while percentiles become an
+unbiased approximation over the reservoir. This bounds a 200-host
+scrape-amplified run to ``cap`` floats per series instead of one float
+per observation.
 
 Label cardinality is capped per family: once ``max_series`` distinct
 label combinations exist, further combinations collapse into a single
@@ -21,6 +28,8 @@ bound — the standard production defense against label explosions.
 from __future__ import annotations
 
 import math
+import random
+import zlib
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..sim import percentile
@@ -28,6 +37,12 @@ from ..sim import percentile
 LabelKey = Tuple[Tuple[str, str], ...]
 
 OVERFLOW_LABEL = "overflow"
+
+# Per-series raw-sample retention cap. Large enough that every
+# percentile read in the repo's tests and figure benchmarks stays exact
+# (their busiest series observe a few tens of thousands of samples),
+# small enough to bound a scrape-amplified 200-host soak.
+DEFAULT_HISTOGRAM_SAMPLE_CAP = 65536
 
 
 def _label_key(labels: Dict[str, Any]) -> LabelKey:
@@ -74,43 +89,87 @@ class Gauge:
 
 
 class Histogram:
-    """Distribution of observed values; retains raw samples.
+    """Distribution of observed values; retains raw samples up to a cap.
 
     ``percentile`` uses the same nearest-rank definition as
     :func:`repro.sim.percentile`, so registry histograms and the
     ``analysis.stats`` recorders report identical numbers for identical
     samples. Empty histograms report ``nan`` rather than raising.
+
+    Memory is bounded by ``max_samples``: below the cap every sample is
+    retained and percentiles are exact; above it the series keeps a
+    uniform reservoir (Algorithm R) — ``count`` and ``sum`` stay exact,
+    percentiles are an approximation over the reservoir, and
+    delta-based reads (``values`` / ``percentile(start=...)``) are only
+    meaningful while the series is below the cap (``saturated`` tells
+    you which regime you are in). The reservoir's RNG is seeded
+    deterministically (from the family name + labels when created via
+    :class:`MetricFamily`), so identical runs keep identical reservoirs.
     """
 
     kind = "histogram"
-    __slots__ = ("labels", "_samples", "_sorted")
+    __slots__ = ("labels", "max_samples", "_samples", "_sorted", "_count",
+                 "_overflow_sum", "_seed", "_rand")
 
-    def __init__(self, labels: Dict[str, str]):
+    def __init__(self, labels: Dict[str, str],
+                 max_samples: int = DEFAULT_HISTOGRAM_SAMPLE_CAP,
+                 seed: int = 0):
+        if max_samples < 1:
+            raise ValueError(
+                f"max_samples must be >= 1, got {max_samples!r}")
         self.labels = labels
+        self.max_samples = max_samples
         self._samples: List[float] = []
         self._sorted: Optional[List[float]] = None
+        self._count = 0
+        self._overflow_sum: Optional[float] = None
+        self._seed = seed
+        self._rand: Optional[random.Random] = None
 
     def observe(self, value: float) -> None:
-        self._samples.append(value)
-        self._sorted = None
+        count = self._count = self._count + 1
+        if count <= self.max_samples:
+            # Fast path: exact retention (the overwhelmingly common case).
+            self._samples.append(value)
+            self._sorted = None
+            return
+        if self._rand is None:
+            # Saturating now: freeze the exact running sum and switch the
+            # sample list over to reservoir maintenance.
+            self._overflow_sum = math.fsum(self._samples)
+            self._rand = random.Random(self._seed)
+        self._overflow_sum += value
+        slot = self._rand.randrange(count)
+        if slot < self.max_samples:
+            self._samples[slot] = value
+            self._sorted = None
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        return self._count
 
     @property
     def sum(self) -> float:
+        if self._overflow_sum is not None:
+            return self._overflow_sum
         return math.fsum(self._samples)
 
     @property
+    def saturated(self) -> bool:
+        """True once observations exceeded the cap (reservoir regime)."""
+        return self._count > len(self._samples)
+
+    @property
     def values(self) -> Tuple[float, ...]:
-        """All samples in observation order (for delta-based readers)."""
+        """Retained samples in observation order (for delta-based
+        readers); the full sample set only while not :attr:`saturated`."""
         return tuple(self._samples)
 
     def percentile(self, p: float, start: int = 0) -> float:
         """Nearest-rank percentile; ``start`` skips earlier samples so
-        callers can measure deltas between checkpoints. ``nan`` if the
-        window is empty."""
+        callers can measure deltas between checkpoints (exact only while
+        the series is not :attr:`saturated`). ``nan`` if the window is
+        empty."""
         if start:
             window = sorted(self._samples[start:])
         else:
@@ -122,13 +181,16 @@ class Histogram:
         return percentile(window, p)
 
     def mean(self) -> float:
-        if not self._samples:
+        if not self._count:
             return math.nan
-        return math.fsum(self._samples) / len(self._samples)
+        return self.sum / self._count
 
     def reset(self) -> None:
         self._samples.clear()
         self._sorted = None
+        self._count = 0
+        self._overflow_sum = None
+        self._rand = None
 
     def snapshot(self) -> Dict[str, Any]:
         out = {"labels": dict(self.labels), "count": self.count,
@@ -145,16 +207,30 @@ class MetricFamily:
     """All series of one named metric (one kind, many label combos)."""
 
     def __init__(self, name: str, kind: str, help: str = "",
-                 max_series: int = 256):
+                 max_series: int = 256,
+                 sample_cap: int = DEFAULT_HISTOGRAM_SAMPLE_CAP):
         if kind not in _KINDS:
             raise ValueError(f"unknown metric kind {kind!r}")
         self.name = name
         self.kind = kind
         self.help = help
         self.max_series = max_series
+        # Histogram families only: per-series raw-sample retention cap.
+        self.sample_cap = sample_cap
         self._series: Dict[LabelKey, Any] = {}
         # Label combinations collapsed into the overflow series.
         self.dropped_series = 0
+        # Bumped whenever the series set changes; lets scrapers cache
+        # per-series bindings with an O(1) staleness check.
+        self.version = 0
+
+    def _new_series(self, key: LabelKey, labels: Dict[str, str]):
+        if self.kind == "histogram":
+            # Deterministic per-series reservoir seed: stable across runs
+            # and processes (crc32, not hash()), distinct across series.
+            seed = zlib.crc32(repr((self.name, key)).encode())
+            return Histogram(labels, max_samples=self.sample_cap, seed=seed)
+        return _KINDS[self.kind](labels)
 
     def labels(self, **labels: Any):
         """The series for one label combination (created on first use).
@@ -169,22 +245,27 @@ class MetricFamily:
         if len(self._series) >= self.max_series:
             self.dropped_series += 1
             return self._overflow_series()
-        series = _KINDS[self.kind]({str(k): str(v)
-                                    for k, v in sorted(labels.items())})
+        series = self._new_series(key, {str(k): str(v)
+                                        for k, v in sorted(labels.items())})
         self._series[key] = series
+        self.version += 1
         return series
 
     def _overflow_series(self):
         key = _label_key({OVERFLOW_LABEL: "true"})
         series = self._series.get(key)
         if series is None:
-            series = _KINDS[self.kind]({OVERFLOW_LABEL: "true"})
+            series = self._new_series(key, {OVERFLOW_LABEL: "true"})
             self._series[key] = series
+            self.version += 1
         return series
 
     def remove(self, **labels: Any) -> bool:
         """Deregister one series; True if it existed."""
-        return self._series.pop(_label_key(labels), None) is not None
+        if self._series.pop(_label_key(labels), None) is None:
+            return False
+        self.version += 1
+        return True
 
     @property
     def series_count(self) -> int:
@@ -207,17 +288,22 @@ class MetricsRegistry:
     on re-registration.
     """
 
-    def __init__(self, max_series_per_metric: int = 256):
+    def __init__(self, max_series_per_metric: int = 256,
+                 histogram_sample_cap: int = DEFAULT_HISTOGRAM_SAMPLE_CAP):
         self.max_series_per_metric = max_series_per_metric
+        self.histogram_sample_cap = histogram_sample_cap
         self._families: Dict[str, MetricFamily] = {}
 
     # -- registration --------------------------------------------------------
 
-    def _family(self, name: str, kind: str, help: str) -> MetricFamily:
+    def _family(self, name: str, kind: str, help: str,
+                sample_cap: Optional[int] = None) -> MetricFamily:
         family = self._families.get(name)
         if family is None:
-            family = MetricFamily(name, kind, help,
-                                  max_series=self.max_series_per_metric)
+            family = MetricFamily(
+                name, kind, help, max_series=self.max_series_per_metric,
+                sample_cap=sample_cap if sample_cap is not None
+                else self.histogram_sample_cap)
             self._families[name] = family
         elif family.kind != kind:
             raise ValueError(
@@ -231,8 +317,9 @@ class MetricsRegistry:
     def gauge(self, name: str, help: str = "") -> MetricFamily:
         return self._family(name, "gauge", help)
 
-    def histogram(self, name: str, help: str = "") -> MetricFamily:
-        return self._family(name, "histogram", help)
+    def histogram(self, name: str, help: str = "",
+                  sample_cap: Optional[int] = None) -> MetricFamily:
+        return self._family(name, "histogram", help, sample_cap=sample_cap)
 
     def unregister(self, name: str) -> bool:
         """Drop a whole family; True if it existed."""

@@ -12,6 +12,10 @@ Run with ``python -m repro.tools <command>``:
   (``--demo`` runs a small workload first and renders an op trace).
 * ``chaos``        — seeded fault-injection soak: print the fault plan,
   the injected events, and the reaction metric tables.
+* ``observe``      — run a probed workload under the observability plane
+  (time-series scraping + SLO burn-rate alerting), optionally with an
+  injected fault; writes ``timeseries.json``/``trace.json`` and prints
+  the SLI and alert tables.
 * ``perf``         — batched-vs-singleton multiget measurement; emits
   ``BENCH_multiget.json`` for the perf trajectory.
 * ``perf profile`` — run a scale workload under cProfile and print the
@@ -225,6 +229,60 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_observe(args: argparse.Namespace) -> int:
+    from ..analysis import render_alerts, render_sli, render_timeseries
+    from ..faults import FaultPlan, SoakConfig, run_soak
+
+    # Handcrafted plan: the soak's client_hosts are writers (0..1),
+    # reader (2), then probers — so client=3 targets the first prober.
+    prober_index = 3
+    plan = FaultPlan()
+    fault_end = args.fault_at + args.fault_duration
+    if args.fault == "partition":
+        # Cut the prober off from quorum-many backends (2 of R=3): a
+        # single partition would be quorum-masked and invisible.
+        plan.add(args.fault_at, "partition", client=prober_index, shard=0)
+        plan.add(args.fault_at, "partition", client=prober_index, shard=1)
+        plan.add(fault_end, "heal_all")
+    elif args.fault == "gray-loss":
+        plan.add(args.fault_at, "gray", duration=args.fault_duration,
+                 shard=0, loss_probability=0.5)
+    elif args.fault == "gray-slow":
+        plan.add(args.fault_at, "gray", duration=args.fault_duration,
+                 shard=0, latency_multiplier=8.0)
+    plan.add(args.duration, "heal_all")
+
+    report = run_soak(SoakConfig(
+        seed=args.seed, duration=args.duration, settle=args.settle,
+        num_shards=args.shards, transport=args.transport,
+        observe=True, plan=plan, export_dir=args.out_dir))
+
+    probe_series = [s for s in report.timeseries["series"]
+                    if s["name"].startswith("cliquemap_probe_ops_total")]
+    print(render_timeseries("probe op series (scraped)", probe_series))
+    print()
+    print(render_sli("SLIs (prober vantage)", report.sli))
+    print()
+    print(render_alerts("SLO alert transitions", report.alerts))
+    for path in report.exports:
+        print(f"wrote {path}")
+
+    if not report.ok:
+        print("FAIL: soak invariants violated")
+        return 1
+    fired = {a["objective"] for a in report.alerts if a["kind"] == "fire"}
+    if args.assert_alert and args.assert_alert not in fired:
+        print(f"FAIL: expected the {args.assert_alert!r} alert to fire "
+              f"(fired: {sorted(fired) or 'none'})")
+        return 1
+    if args.assert_no_alerts and fired:
+        print(f"FAIL: expected no alerts, but fired: {sorted(fired)}")
+        return 1
+    print("invariants hold: no bad hits, all keys recovered, "
+          "replicas converged")
+    return 0
+
+
 def cmd_perf(args: argparse.Namespace) -> int:
     from ..analysis import (render_multiget_table, run_multiget_benchmark,
                             write_bench_json)
@@ -342,6 +400,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--transport", default="pony",
                    choices=["pony", "1rma", "rdma"])
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser("observe",
+                       help="probed workload under the observability "
+                            "plane: scraping, SLIs, burn-rate alerts, "
+                            "timeseries/trace export")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--duration", type=float, default=1.6,
+                   help="workload window (simulated seconds)")
+    p.add_argument("--settle", type=float, default=0.5)
+    p.add_argument("--shards", type=int, default=3)
+    p.add_argument("--transport", default="pony",
+                   choices=["pony", "1rma", "rdma"])
+    p.add_argument("--fault", default="none",
+                   choices=["none", "partition", "gray-loss", "gray-slow"],
+                   help="inject one fault against the prober/cell")
+    p.add_argument("--fault-at", type=float, default=0.8,
+                   help="fault injection time (simulated seconds)")
+    p.add_argument("--fault-duration", type=float, default=0.6)
+    p.add_argument("--out-dir", default=".",
+                   help="where to write timeseries.json / trace.json "
+                        "('' to skip writing)")
+    p.add_argument("--assert-alert", default="",
+                   help="exit non-zero unless this SLO objective fired "
+                        "(e.g. 'availability')")
+    p.add_argument("--assert-no-alerts", action="store_true",
+                   help="exit non-zero if any alert fired")
+    p.set_defaults(func=cmd_observe)
 
     p = sub.add_parser("perf",
                        help="perf tooling: multiget datapoint (default, "

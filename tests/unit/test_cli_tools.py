@@ -11,7 +11,7 @@ def test_parser_lists_all_commands():
                if hasattr(a, "choices") and a.choices)
     assert set(sub.choices) == {"quickstart", "ads", "geo", "drill",
                                 "snapshot", "metrics", "model-check",
-                                "trace", "chaos", "perf"}
+                                "trace", "chaos", "perf", "observe"}
 
 
 def test_chaos_command(capsys):

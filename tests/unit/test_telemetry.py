@@ -205,3 +205,82 @@ def test_trace_context_delegates_to_root():
     assert root.finished
     assert root.children == [child]
     assert "index" in ctx.render()
+
+
+# -- histogram reservoir cap --------------------------------------------------
+
+def test_histogram_exact_below_cap():
+    reg = MetricsRegistry(histogram_sample_cap=100)
+    h = reg.histogram("lat").labels(op="get")
+    samples = [float(i) for i in range(100)]
+    for v in samples:
+        h.observe(v)
+    assert not h.saturated
+    assert h.count == 100
+    assert h.sum == sum(samples)
+    assert h.percentile(50) == percentile(samples, 50)
+    assert h.values == tuple(samples)
+
+
+def test_histogram_reservoir_above_cap_keeps_count_and_sum_exact():
+    reg = MetricsRegistry(histogram_sample_cap=64)
+    h = reg.histogram("lat").labels(op="get")
+    n = 10_000
+    for i in range(n):
+        h.observe(float(i))
+    assert h.saturated
+    assert h.count == n
+    assert h.sum == pytest.approx(sum(range(n)))
+    assert h.mean() == pytest.approx((n - 1) / 2, rel=0.0)
+    # The reservoir is a uniform sample: bounded size, values from the
+    # observed stream, and a roughly central median (loose sanity bound,
+    # deterministic because the seed is fixed).
+    assert len(h.values) == 64
+    assert all(0 <= v < n for v in h.values)
+    assert n * 0.2 <= h.percentile(50) <= n * 0.8
+
+
+def test_histogram_reservoir_is_deterministic_per_series():
+    def build():
+        reg = MetricsRegistry(histogram_sample_cap=32)
+        fam = reg.histogram("lat")
+        a, b = fam.labels(op="get"), fam.labels(op="set")
+        for i in range(500):
+            a.observe(float(i))
+            b.observe(float(i))
+        return a, b
+
+    a1, b1 = build()
+    a2, b2 = build()
+    # Identical runs keep identical reservoirs (seeded from family name
+    # + labels, not from hash() or global random state)...
+    assert a1.values == a2.values
+    assert b1.values == b2.values
+    # ...while differently-labeled series sample differently.
+    assert a1.values != b1.values
+
+
+def test_histogram_reset_clears_reservoir_state():
+    reg = MetricsRegistry(histogram_sample_cap=8)
+    h = reg.histogram("lat").labels()
+    for i in range(100):
+        h.observe(float(i))
+    assert h.saturated
+    h.reset()
+    assert h.count == 0 and not h.saturated
+    assert math.isnan(h.mean())
+    h.observe(5.0)
+    assert h.sum == 5.0 and not h.saturated
+
+
+def test_histogram_sample_cap_per_family_override():
+    reg = MetricsRegistry(histogram_sample_cap=1000)
+    small = reg.histogram("small", sample_cap=4).labels()
+    large = reg.histogram("large").labels()
+    for i in range(10):
+        small.observe(float(i))
+        large.observe(float(i))
+    assert small.saturated and len(small.values) == 4
+    assert not large.saturated and len(large.values) == 10
+    with pytest.raises(ValueError):
+        reg.histogram("bad", sample_cap=0).labels()
