@@ -34,9 +34,9 @@ def build_loaded_cell(mode):
     cell = Cell(CellSpec(mode=mode, num_shards=4, transport="pony"))
     sor_host = cell.fabric.add_host("host/sor")
     sor = SystemOfRecord(cell.sim, sor_host)
-    sor.ingest({b"doc-%d" % i: bytes(VALUE_BYTES)
-                for i in range(NUM_KEYS)})
-    sor.seal()
+    sor.load({b"doc-%d" % i: bytes(VALUE_BYTES)
+              for i in range(NUM_KEYS)})
+    sor.freeze()
     loader = CorpusLoader(cell, sor)
     report = cell.sim.run(until=cell.sim.process(loader.load()))
     return cell, sor, report

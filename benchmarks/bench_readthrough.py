@@ -1,0 +1,137 @@
+"""Thundering herd on the miss path: coalesced vs naive SoR fetches.
+
+A viral cold key arrives: many clients GET it in the same instant, all
+MISS the cache, and all fall through to the read-through coordinator
+(§PR 6). With single-flight coalescing one leader fetches from the
+system of record and every concurrent waiter shares the reply; with
+coalescing disabled each client issues its own SoR read — the classic
+herd that melts a provisioned-throughput backing store.
+
+Shape to hold: for ``WAITERS`` concurrent clients per viral key, the
+coalesced pipeline performs at most ``WAITERS / 10`` SoR reads per key
+(it should be exactly 1) — at least a 10x fetch reduction over the
+naive path. Writes ``BENCH_readthrough.json`` at the repo root so the
+perf trajectory records the floor.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import run_once
+
+from repro.analysis import write_bench_json
+from repro.core import Cell, CellSpec, GetStatus, ReplicationMode
+from repro.storage import MissPolicy, ProvisionedThroughput, SystemOfRecord
+
+WAITERS = 40
+VIRAL_KEYS = 3
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_readthrough.json"
+
+
+def run_herd(coalesce: bool, waiters: int = WAITERS,
+             viral_keys: int = VIRAL_KEYS) -> dict:
+    """One herd: ``waiters`` clients GET each viral key simultaneously."""
+    cell = Cell(CellSpec(mode=ReplicationMode.R3_2, num_shards=4,
+                         transport="pony", seed=1009))
+    sim = cell.sim
+    sor_host = cell.fabric.add_host("host/sor")
+    keys = [b"viral-%02d" % i for i in range(viral_keys)]
+    sor = SystemOfRecord(sim, sor_host,
+                         throughput=ProvisionedThroughput(
+                             read_units=100000.0, write_units=100000.0))
+    sor.load({key: b"payload-for-" + key for key in keys})
+    coordinator = cell.attach_sor(sor, MissPolicy(coalesce=coalesce))
+    clients = [cell.connect_client() for _ in range(waiters)]
+
+    outcomes = {"hits": 0, "other": 0}
+    latencies = []
+
+    def herd_get(client, key):
+        t0 = sim.now
+        result = yield from client.get(key)
+        latencies.append(sim.now - t0)
+        if result.status is GetStatus.HIT:
+            outcomes["hits"] += 1
+        else:
+            outcomes["other"] += 1
+
+    procs = [sim.process(herd_get(client, key))
+             for key in keys for client in clients]
+    sim.run(until=sim.all_of(procs))
+    for client in clients:
+        client.close()
+    cell.close()
+
+    total_gets = waiters * viral_keys
+    return {
+        "coalesce": coalesce,
+        "waiters": waiters,
+        "viral_keys": viral_keys,
+        "total_gets": total_gets,
+        "hits": outcomes["hits"],
+        "non_hits": outcomes["other"],
+        "sor_reads": sor.reads,
+        "sor_reads_per_key": sor.reads / viral_keys,
+        "coalesced_waiters": coordinator.stats["coalesced"],
+        "coalescing_ratio": coordinator.coalescing_ratio(),
+        "mean_latency_us": 1e6 * sum(latencies) / len(latencies),
+    }
+
+
+def run_datapoint() -> dict:
+    coalesced = run_herd(coalesce=True)
+    naive = run_herd(coalesce=False)
+    reduction = naive["sor_reads"] / max(1, coalesced["sor_reads"])
+    return {
+        "benchmark": "readthrough_herd",
+        "transport": "pony",
+        "waiters": WAITERS,
+        "viral_keys": VIRAL_KEYS,
+        "coalesced": coalesced,
+        "naive": naive,
+        "fetch_reduction": reduction,
+        # Regression floor: coalescing must keep at least a 10x fetch
+        # reduction over the naive path on this herd shape.
+        "fetch_reduction_floor": 10.0,
+    }
+
+
+def render(result: dict) -> str:
+    c, n = result["coalesced"], result["naive"]
+    return "\n".join([
+        f"readthrough herd — {result['waiters']} waiters x "
+        f"{result['viral_keys']} viral keys",
+        f"  naive:     {n['sor_reads']} SoR reads "
+        f"({n['sor_reads_per_key']:.1f}/key), "
+        f"{n['mean_latency_us']:.1f} us mean GET",
+        f"  coalesced: {c['sor_reads']} SoR reads "
+        f"({c['sor_reads_per_key']:.1f}/key), "
+        f"{c['mean_latency_us']:.1f} us mean GET, "
+        f"ratio={c['coalescing_ratio']:.3f}",
+        f"  reduction: {result['fetch_reduction']:.1f}x "
+        f"(floor {result['fetch_reduction_floor']:.0f}x)",
+    ])
+
+
+def bench_readthrough_herd(benchmark):
+    result = run_once(benchmark, run_datapoint)
+    print()
+    print(render(result))
+
+    coalesced, naive = result["coalesced"], result["naive"]
+    # Every GET in the herd resolves to the SoR value.
+    assert coalesced["hits"] == coalesced["total_gets"], result
+    assert naive["hits"] == naive["total_gets"], result
+    # Acceptance: the coalesced herd collapses to (about) one fetch per
+    # key — at most waiters/10 — and at least 10x fewer than naive.
+    assert coalesced["sor_reads_per_key"] <= WAITERS / 10, result
+    assert result["fetch_reduction"] >= result["fetch_reduction_floor"], \
+        result
+    # The naive path really did stampede (otherwise the comparison is
+    # vacuous).
+    assert naive["sor_reads"] >= 0.5 * naive["total_gets"], result
+
+    write_bench_json(result, str(OUTPUT))
+    print(f"  wrote {OUTPUT.name}")

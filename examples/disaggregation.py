@@ -37,8 +37,8 @@ def run_disaggregated():
                          transport="pony"))
     sor_host = cell.fabric.add_host("host/sor")
     sor = SystemOfRecord(cell.sim, sor_host)
-    sor.ingest(build_corpus())
-    sor.seal()
+    sor.load(build_corpus())
+    sor.freeze()
     loader = CorpusLoader(cell, sor)
     cell.sim.run(until=cell.sim.process(loader.load()))
 

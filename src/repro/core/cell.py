@@ -20,6 +20,7 @@ from ..transport import (OneRmaTransport, PonyTransport, RdmaTransport,
                          Transport)
 from .backend import Backend, BackendConfig
 from .client import ClientConfig, CliqueMapClient
+from .errors import CliqueMapError
 from .config import (CellConfig, ConfigStore, GetStrategy, ReplicationMode)
 from .hashing import Placement
 from .maintenance import MaintenanceConfig, MaintenanceController
@@ -98,6 +99,11 @@ class Cell:
         # probers, SLO engine) entirely out of un-observed runs.
         self.observability = None
 
+        # Attached by attach_sor(): the system of record behind this
+        # cell and the read-through coordinator wiring clients to it.
+        self.sor = None
+        self.sor_coordinator = None
+
         self.backends: Dict[str, Backend] = {}
         self.scanners: Dict[str, RepairScanner] = {}
         self._spare_pool: List[str] = []
@@ -148,10 +154,12 @@ class Cell:
         for method in ("Set", "MultiSet", "Erase", "Cas"):
             for principal in self.spec.writer_principals:
                 acl.allow(method, principal)
-        # Internal machinery: repairs, migrations, corpus loaders.
+        # Internal machinery: repairs, migrations, corpus loaders, and
+        # the read-through coordinator's cache fills (sor@<cell>).
         for method in ("Set", "MultiSet", "Erase", "Cas", "MigrateIn"):
             acl.allow_prefix(method, "repair@")
             acl.allow_prefix(method, "migrate@")
+            acl.allow_prefix(method, "sor@")
             acl.allow(method, "loader")
         # Reads / metadata / maintenance stay open to any authenticated
         # principal (matching the paper's per-RPC ACL posture).
@@ -249,7 +257,8 @@ class Cell:
                     client_config: Optional[ClientConfig] = None,
                     host_config: Optional[HostConfig] = None,
                     zone: str = "local",
-                    principal: Optional[Principal] = None
+                    principal: Optional[Principal] = None,
+                    read_through: bool = True
                     ) -> CliqueMapClient:
         """Create (but do not connect) a client; drive ``client.connect()``.
 
@@ -259,6 +268,8 @@ class Cell:
         than failing mid-operation. ``zone`` places the client in another
         datacenter: RMA is not applicable across the WAN, so remote-zone
         clients default to the RPC lookup strategy (Table 1, row 5).
+        ``read_through=False`` opts this client out of the attached
+        SoR's miss pipeline (internal fill clients use this).
         """
         if strategy is not None:
             strategy = GetStrategy.coerce(strategy)
@@ -290,6 +301,8 @@ class Cell:
             config=client_config, principal=principal,
             registry=self.metrics, tracer=self.tracer,
             client_id=self._client_seq)
+        if read_through and self.sor_coordinator is not None:
+            client.read_through = self.sor_coordinator
         self._clients.append(client)
         return client
 
@@ -322,10 +335,51 @@ class Cell:
             self.observability = ObservabilityPlane(self, config).start()
         return self.observability
 
+    def attach_sor(self, sor, policy=None):
+        """Attach a system of record behind this cell's miss path.
+
+        ``sor`` must satisfy
+        :class:`~repro.storage.SystemOfRecordProtocol`; ``policy`` is a
+        :class:`~repro.storage.MissPolicy` (None -> defaults). Builds a
+        :class:`~repro.storage.ReadThroughCoordinator` and wires it
+        into every existing client and every client made afterwards
+        (opt out per client with ``make_client(read_through=False)``).
+        Returns the coordinator. Imported lazily so cells without an
+        SoR pay nothing for the miss pipeline.
+        """
+        from ..storage import MissPolicy, SystemOfRecordProtocol
+        from ..storage.readthrough import ReadThroughCoordinator
+        if self.sor_coordinator is not None:
+            raise CliqueMapError(
+                "a system of record is already attached to this cell")
+        if not isinstance(sor, SystemOfRecordProtocol):
+            raise CliqueMapError(
+                "attach_sor() needs a SystemOfRecordProtocol (name, "
+                f"rpc_server, sealed, load, freeze); got {type(sor)!r}")
+        if policy is None:
+            policy = MissPolicy()
+        existing = list(self._clients)
+        coordinator = ReadThroughCoordinator(self, sor, policy)
+        self.sor = sor
+        self.sor_coordinator = coordinator
+        for client in existing:
+            client.read_through = coordinator
+        if hasattr(sor, "bind_registry") and \
+                getattr(sor, "registry", None) is None:
+            sor.bind_registry(self.metrics)
+        return coordinator
+
     def close(self) -> None:
-        """Close every client created through this cell (idempotent)."""
+        """Close every client created through this cell (idempotent).
+
+        An attached read-through coordinator drains its write-behind
+        buffer first, so acknowledged mutations reach the SoR before
+        the cell is torn down.
+        """
         if self.observability is not None:
             self.observability.stop()
+        if self.sor_coordinator is not None:
+            self.sor_coordinator.close()
         for client in self._clients:
             client.close()
 

@@ -141,6 +141,11 @@ class OpResult:
     ``attempts`` the layered retry machinery used, an ``error`` reason
     string for terminal failures, and — when tracing is enabled — the
     operation's :class:`~repro.telemetry.TraceContext` in ``trace``.
+
+    ``source`` says which tier produced a read's answer: ``"cache"``
+    (the CliqueMap tier, the only source without an attached SoR),
+    ``"sor"`` (resolved by the read-through miss pipeline), or
+    ``"negative"`` (a remembered-absent entry short-circuited the SoR).
     """
 
     status: object
@@ -148,6 +153,7 @@ class OpResult:
     attempts: int = 1
     error: Optional[str] = None
     trace: Optional[TraceContext] = None
+    source: str = "cache"
 
     @property
     def ok(self) -> bool:
@@ -257,13 +263,17 @@ class CliqueMapClient:
         self._touch_flusher_started = False
         self._reconnecting: set = set()
         self._closed = False
+        # Miss-path coordinator; wired by Cell.attach_sor / make_client.
+        # When set, cache MISSes read through to the system of record
+        # and acknowledged mutations are noted for write-behind.
+        self.read_through = None
 
         self.stats = {
             "gets": 0, "hits": 0, "misses": 0, "get_errors": 0,
             "retries": 0, "retries_shed": 0, "validation_failures": 0,
             "inquorate": 0, "config_refreshes": 0, "view_refreshes": 0,
             "sets": 0, "erases": 0, "cas": 0, "overflow_lookups": 0,
-            "torn_reads": 0, "version_races": 0,
+            "torn_reads": 0, "version_races": 0, "sor_hits": 0,
         }
 
         # Degradation machinery: decorrelated-jitter backoff (seeded per
@@ -512,9 +522,9 @@ class CliqueMapClient:
                     yield self.sim.sleep(delay)
                 recovery.finish()
                 continue
-            latency = self.sim.now - started
-            root.finish()  # at the same instant latency is measured
             if status is GetStatus.HIT:
+                latency = self.sim.now - started
+                root.finish()  # at the same instant latency is measured
                 self.stats["hits"] += 1
                 self._note_touch(key_hash)
                 value = yield from self._decode_value(value)
@@ -522,6 +532,12 @@ class CliqueMapClient:
                                  attempts=attempts, latency=latency,
                                  trace=self._finish_op("get", "hit", latency,
                                                        root))
+            if self.read_through is not None and \
+                    self.read_through.policy.read_through:
+                return (yield from self._read_through_miss(
+                    key, attempts, started, root))
+            latency = self.sim.now - started
+            root.finish()
             self.stats["misses"] += 1
             return GetResult(GetStatus.MISS, attempts=attempts,
                              latency=latency,
@@ -554,6 +570,70 @@ class CliqueMapClient:
         self.tracer.record(root)
         return TraceContext(root)
 
+    def _read_through_miss(self, key: bytes, attempts: int, started: float,
+                           root) -> Generator:
+        """Resolve a cache MISS through the attached SoR coordinator.
+
+        A fetched value is returned as a HIT with ``source="sor"`` (the
+        coordinator fills the cache in the background, so the *next*
+        read is a plain cache hit); an authoritative or remembered
+        absence stays a MISS with the source telling the tiers apart.
+        """
+        span = root.child("sor.fetch")
+        status, value = yield from self.read_through.fetch(key)
+        span.annotate(result=status).finish()
+        latency = self.sim.now - started
+        root.finish()
+        if status == "hit":
+            self.stats["hits"] += 1
+            self.stats["sor_hits"] += 1
+            return GetResult(GetStatus.HIT, value=value, attempts=attempts,
+                             latency=latency, source="sor",
+                             trace=self._finish_op("get", "hit", latency,
+                                                   root))
+        self.stats["misses"] += 1
+        source = "negative" if status == "negative" else "sor"
+        error = {"shed": "sor-backfill-shed",
+                 "error": "sor-fetch-failed"}.get(status)
+        return GetResult(GetStatus.MISS, attempts=attempts, latency=latency,
+                         source=source, error=error,
+                         trace=self._finish_op("get", "miss", latency, root))
+
+    def _read_through_multi(self, keys: List[bytes],
+                            results: List["GetResult"]) -> Generator:
+        """Drive leftover batch MISSes through the miss pipeline.
+
+        The batched/RPC fast paths settle against the cache tier only;
+        this pass fans their misses out to the coordinator (single-
+        flight dedupes same-key siblings) and upgrades resolved entries
+        in place. Cache-tier op metrics are untouched — SoR outcomes
+        are counted by the coordinator's own families.
+        """
+        rt = self.read_through
+        if rt is None or not rt.policy.read_through:
+            return results
+        miss_idx = [i for i, r in enumerate(results)
+                    if r is not None and r.status is GetStatus.MISS and
+                    r.source == "cache"]
+        if not miss_idx:
+            return results
+        t0 = self.sim.now
+        procs = {self.sim.process(rt.fetch(keys[i])): i for i in miss_idx}
+        while procs:
+            event, outcome = yield self.sim.any_of(list(procs))
+            i = procs.pop(event)
+            status, value = outcome
+            result = results[i]
+            result.latency += self.sim.now - t0
+            if status == "hit":
+                self.stats["sor_hits"] += 1
+                result.status = GetStatus.HIT
+                result.value = value
+                result.source = "sor"
+            else:
+                result.source = "negative" if status == "negative" else "sor"
+        return results
+
     def get_multi(self, keys: List[bytes],
                   deadline: Optional[float] = None) -> Generator:
         """Batched lookup; returns a result list aligned with ``keys``.
@@ -574,9 +654,11 @@ class CliqueMapClient:
             if self.strategy in (GetStrategy.TWO_R, GetStrategy.SCAR) and \
                     self.transport is not None and \
                     self.cell.mode is not ReplicationMode.R2_IMMUTABLE:
-                return (yield from self._batched_get_multi(keys, deadline))
+                results = yield from self._batched_get_multi(keys, deadline)
+                return (yield from self._read_through_multi(keys, results))
             if self.strategy is GetStrategy.RPC:
-                return (yield from self._rpc_get_multi(keys, deadline))
+                results = yield from self._rpc_get_multi(keys, deadline)
+                return (yield from self._read_through_multi(keys, results))
         return (yield from self._fanout_get_multi(keys, deadline))
 
     def _fanout_get_multi(self, keys: List[bytes],
@@ -1479,6 +1561,23 @@ class CliqueMapClient:
     # Mutations (§5.2)
     # ------------------------------------------------------------------
 
+    def _note_write_behind(self, key: bytes,
+                           value: Optional[bytes]) -> Generator:
+        """Propagate an acknowledged mutation to the SoR (write-behind).
+
+        Values are noted *raw* (pre-compression): the SoR stores
+        application bytes, and a later read-through fill re-encodes
+        them under the filling client's corpus convention. ``None``
+        notes an erase (a delete marker flushes to the SoR). When the
+        dirty buffer is full the write degrades to synchronous
+        write-through instead of being dropped.
+        """
+        rt = self.read_through
+        if rt is None:
+            return
+        if not rt.note_write(key, value):
+            yield from rt.write_through(key, value)
+
     def set(self, key: bytes, value: bytes,
             deadline: Optional[float] = None) -> Generator:
         """SET via RPC to all replicas with a fresh VersionNumber."""
@@ -1486,6 +1585,7 @@ class CliqueMapClient:
         started = self.sim.now
         deadline_at = started + (deadline or self.config.default_deadline)
         root = self.tracer.start("set", client=self.client_id)
+        raw_value = value
         value = yield from self._encode_value(value)
         payload_size = len(key) + len(value) + 64
         quorum = self.cell.mode.quorum
@@ -1511,6 +1611,10 @@ class CliqueMapClient:
             latency = self.sim.now - started
             if applied >= quorum:
                 root.finish()
+                # Acked at quorum: the SoR learns of it via write-behind
+                # (or a sync write-through when the buffer is full); the
+                # op's acknowledged latency is the cache-tier latency.
+                yield from self._note_write_behind(key, raw_value)
                 return MutationResult(SetStatus.APPLIED, version=version,
                                       replicas_applied=applied,
                                       latency=latency,
@@ -1648,6 +1752,7 @@ class CliqueMapClient:
             latency = self.sim.now - started
             if applied[i] >= quorum:
                 status, status_str = SetStatus.APPLIED, "applied"
+                yield from self._note_write_behind(items[i][0], items[i][1])
             elif superseded[i] >= quorum:
                 status, status_str = SetStatus.SUPERSEDED, "superseded"
             else:
@@ -1723,6 +1828,7 @@ class CliqueMapClient:
             latency = self.sim.now - started
             if applied >= quorum:
                 root.finish()
+                yield from self._note_write_behind(key, None)
                 return MutationResult(SetStatus.APPLIED, version=version,
                                       replicas_applied=applied,
                                       latency=latency,
@@ -1766,6 +1872,7 @@ class CliqueMapClient:
         self.stats["cas"] += 1
         started = self.sim.now
         root = self.tracer.start("cas", client=self.client_id)
+        raw_value = value
         value = yield from self._encode_value(value)
         version = self.versions.next()
         replies = yield from self._mutate_all(
@@ -1783,6 +1890,7 @@ class CliqueMapClient:
                 stored = candidate if stored is None else max(stored,
                                                               candidate)
         if applied >= self.cell.mode.quorum:
+            yield from self._note_write_behind(key, raw_value)
             return MutationResult(SetStatus.APPLIED, version=version,
                                   replicas_applied=applied, latency=latency,
                                   trace=self._finish_op("cas", "applied",

@@ -22,6 +22,8 @@ from typing import Generator, List, Optional, Sequence, Tuple
 from ..net import Host, LinkFault
 from ..sim import RandomStream
 
+# Kinds drawn by default plan generation. "sor_brownout" is opt-in (it
+# needs an attached SoR and would perturb existing seeded plans).
 DEFAULT_KINDS = ("crash", "partition", "heal", "gray", "antagonist",
                  "nothing")
 
@@ -31,7 +33,7 @@ class FaultEvent:
     """One scheduled fault."""
 
     at: float                 # simulated seconds from injector start
-    kind: str                 # crash|partition|heal|heal_all|gray|antagonist
+    kind: str     # crash|partition|heal|heal_all|gray|antagonist|sor_brownout
     args: dict = field(default_factory=dict)
     duration: float = 0.0     # for self-clearing faults (gray, antagonist)
 
@@ -113,6 +115,10 @@ class FaultPlan:
                          shard=stream.randint(0, num_shards - 1),
                          fraction=stream.uniform(0.3, 0.9),
                          duration=stream.uniform(0.03, 0.1))
+            elif kind == "sor_brownout":
+                plan.add(t, "sor_brownout",
+                         factor=stream.uniform(0.05, 0.3),
+                         duration=stream.uniform(0.1, 0.4))
             elif kind == "nothing":
                 continue
             else:
@@ -218,6 +224,9 @@ class FaultInjector:
             self.cell.fabric.heal_all()
             self.cell.fabric.clear_faults()
             self._partitions.clear()
+            sor = getattr(self.cell, "sor", None)
+            if sor is not None and getattr(sor, "browned_out", False):
+                sor.restore()
         elif kind == "gray":
             fault = LinkFault(
                 loss_probability=event.args.get("loss_probability", 0.0),
@@ -243,6 +252,15 @@ class FaultInjector:
             self._antagonists.append(proc)
             if event.duration > 0:
                 self.sim.call_in(event.duration, proc.interrupt)
+        elif kind == "sor_brownout":
+            # Degrade the attached system of record's provisioned
+            # capacity (self-restoring after event.duration).
+            sor = getattr(self.cell, "sor", None)
+            if sor is None:
+                self._record(event, "skipped")
+                return
+            sor.brownout(event.args.get("factor", 0.1),
+                         duration=event.duration)
         else:
             raise ValueError(f"unknown fault kind {kind!r}")
         self._record(event, "fired")

@@ -39,6 +39,10 @@ _REACTION_FAMILIES = (
     "cliquemap_retries_shed_total",
     "cliquemap_backend_quarantine_total",
     "cliquemap_maintenance_events_total",
+    # Miss-pipeline families (0 when no SoR is attached).
+    "cliquemap_sor_fetches_total",
+    "cliquemap_sor_writebacks_total",
+    "cliquemap_sor_requests_total",
 )
 
 
@@ -72,6 +76,18 @@ class SoakConfig:
     # With observe: write timeseries.json + trace.json into this
     # directory before the plane stops (used by the observe CLI and CI).
     export_dir: Optional[str] = None
+    # System-of-record miss pipeline (all opt-in; defaults leave the
+    # soak byte-identical to pre-PR-6 runs). With ``sor=True`` the soak
+    # attaches a provisioned-throughput SoR pre-loaded with
+    # ``sor_cold_keys`` cold keys, and a dedicated reader exercises the
+    # read-through path on them throughout the run. ``sor_backfill``
+    # adds a warming storm (admission-controlled backfill sweeps over
+    # the cold keyspace) — the herd scenario's background pressure.
+    sor: bool = False
+    sor_policy: Optional[object] = None          # MissPolicy
+    sor_throughput: Optional[object] = None      # ProvisionedThroughput
+    sor_cold_keys: int = 64
+    sor_backfill: bool = False
 
 
 @dataclass
@@ -93,6 +109,9 @@ class SoakReport:
     sli: Optional[dict] = None
     timeseries: Optional[dict] = None
     exports: List[str] = field(default_factory=list)
+    # Populated when the soak ran with config.sor: the coordinator's
+    # stat counters, SoR-side totals, and the cold-keyspace read tally.
+    sor_stats: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -130,6 +149,19 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
             enabled=True, scan_interval=config.repair_scan_interval),
         maintenance_config=MaintenanceConfig()))
     sim = cell.sim
+    sor = None
+    coordinator = None
+    if config.sor:
+        from ..storage import (MissPolicy, ProvisionedThroughput,
+                               SystemOfRecord)
+        sor_host = cell.fabric.add_host("host/sor")
+        sor = SystemOfRecord(
+            sim, sor_host,
+            throughput=config.sor_throughput or ProvisionedThroughput(
+                read_units=400.0, write_units=400.0))
+        sor.load({b"cold-%05d" % i: b"sor-%05d" % i
+                  for i in range(config.sor_cold_keys)})
+        coordinator = cell.attach_sor(sor, config.sor_policy or MissPolicy())
     plane = cell.observe(config.observe_config) if config.observe else None
     writers = [cell.connect_client() for _ in range(config.num_writers)]
     reader = cell.connect_client(strategy=GetStrategy.TWO_R,
@@ -176,9 +208,39 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
             i = rand.randint(0, keys - 1)
             result = yield from reader.get(key_name(i))
             if result.status is GetStatus.HIT and \
-                    result.value not in written[i]:
+                    result.value not in written[i] and \
+                    result.source == "cache":
                 bad_hits.append((i, result.value))
             yield sim.timeout(rand.uniform(0.5e-3, 2e-3))
+
+    # Cold-keyspace churn (config.sor): reads that MISS the cache and
+    # resolve through the coordinator, so the soak exercises the miss
+    # pipeline while faults fire. A HIT with a value that is neither
+    # the SoR's nor a later write-behind overwrite is a real bug.
+    sor_counts = {"hits": 0, "misses": 0, "errors": 0, "bad_hits": 0}
+
+    def cold_reader_loop(rand):
+        while not done[0]:
+            i = rand.randint(0, config.sor_cold_keys - 1)
+            result = yield from reader.get(b"cold-%05d" % i)
+            if result.status is GetStatus.HIT:
+                sor_counts["hits"] += 1
+                if result.value != b"sor-%05d" % i:
+                    sor_counts["bad_hits"] += 1
+            elif result.ok:
+                sor_counts["misses"] += 1
+            else:
+                sor_counts["errors"] += 1
+            yield sim.timeout(rand.uniform(1e-3, 4e-3))
+
+    def backfill_loop():
+        # A warming storm: sweep the whole cold keyspace through the
+        # backfill class over and over. Admission control is what keeps
+        # this from consuming the SoR's provisioned capacity.
+        cold = [b"cold-%05d" % i for i in range(config.sor_cold_keys)]
+        while not done[0]:
+            yield from coordinator.warm(cold, concurrency=8)
+            yield sim.timeout(0.02)
 
     plan = config.plan if config.plan is not None else FaultPlan.generate(
         stream.child("plan"), duration=config.duration,
@@ -197,6 +259,10 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
         for tag in range(len(writers))
     ]
     procs.append(sim.process(reader_loop(stream.child("r"))))
+    if config.sor:
+        procs.append(sim.process(cold_reader_loop(stream.child("cold"))))
+        if config.sor_backfill:
+            procs.append(sim.process(backfill_loop()))
     chaos = sim.process(injector.run())
     sim.run(until=chaos)
     done[0] = True
@@ -254,4 +320,14 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
         if plane is not None else [],
         sli=plane.sli_summary() if plane is not None else None,
         timeseries=plane.scraper.to_dict() if plane is not None else None,
-        exports=exports)
+        exports=exports,
+        sor_stats=None if coordinator is None else {
+            "coordinator": dict(coordinator.stats),
+            "coalescing_ratio": coordinator.coalescing_ratio(),
+            "dirty_depth": coordinator.dirty_depth,
+            "backfill_shed": coordinator.backfill_budget.shed,
+            "sor_reads": sor.reads,
+            "sor_writes": sor.writes,
+            "sor_throttled": sor.throttled,
+            "cold_reads": dict(sor_counts),
+        })

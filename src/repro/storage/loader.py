@@ -56,7 +56,7 @@ class CorpusLoader:
     def load(self) -> Generator:
         """Scan the corpus and install every KV at all its replicas."""
         if not self.sor.sealed:
-            raise RuntimeError("seal the corpus before loading (§6.4)")
+            raise RuntimeError("freeze the corpus before loading (§6.4)")
         report = LoadReport()
         started = self.sim.now
         cursor = 0
@@ -65,6 +65,11 @@ class CorpusLoader:
             reply = yield from self._sor_channel.call(
                 "Scan", {"cursor": cursor, "limit": self.batch_size},
                 deadline=self.rpc_deadline)
+            if reply.get("throttled"):
+                # Provisioned-throughput pushback: wait out the bucket
+                # refill instead of spinning on the same cursor.
+                yield self.sim.sleep(10e-3)
+                continue
             report.batches += 1
             cursor = reply["next_cursor"]
             # Group the batch per destination task to amortize RPCs.

@@ -200,12 +200,18 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_chaos(args: argparse.Namespace) -> int:
     from ..analysis import render_table
-    from ..faults import SoakConfig, run_soak
+    from ..faults import DEFAULT_KINDS, SoakConfig, run_soak
 
+    kinds = tuple(DEFAULT_KINDS)
+    if args.sor:
+        # Opt-in: draw SoR brownouts alongside the usual fault kinds and
+        # run the cold-keyspace + backfill herd against the miss path.
+        kinds = kinds + ("sor_brownout",)
     report = run_soak(SoakConfig(
         seed=args.seed, duration=args.duration, settle=args.settle,
         num_shards=args.shards, num_keys=args.keys,
-        transport=args.transport))
+        transport=args.transport, kinds=kinds,
+        sor=args.sor, sor_backfill=args.sor))
     print(render_table(f"fault plan (seed={args.seed})", ["event"],
                        [[line] for line in report.plan_lines]))
     print()
@@ -214,6 +220,18 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     print(render_table("reactions", ["metric family", "total"],
                        report.reaction_rows()))
     print()
+    if report.sor_stats is not None:
+        stats = report.sor_stats
+        print(render_table(
+            "miss path (read-through coordinator)", ["stat", "value"],
+            [["fetches", f"{stats['coordinator']['fetches']}"],
+             ["coalesced", f"{stats['coordinator']['coalesced']}"],
+             ["backfill shed", f"{stats['backfill_shed']:g}"],
+             ["SoR reads", f"{stats['sor_reads']}"],
+             ["SoR throttled", f"{stats['sor_throttled']}"],
+             ["cold-key bad hits",
+              f"{stats['cold_reads']['bad_hits']}"]]))
+        print()
     if report.ok:
         print("invariants hold: no bad hits, all keys recovered, "
               "replicas converged")
@@ -250,12 +268,20 @@ def cmd_observe(args: argparse.Namespace) -> int:
     elif args.fault == "gray-slow":
         plan.add(args.fault_at, "gray", duration=args.fault_duration,
                  shard=0, latency_multiplier=8.0)
+    elif args.fault == "sor-brownout":
+        # Degrade the system of record's provisioned capacity while a
+        # backfill sweep hammers the miss path: the backfill admission
+        # budget should shed load so foreground SLOs stay green.
+        plan.add(args.fault_at, "sor_brownout", factor=0.1,
+                 duration=args.fault_duration)
     plan.add(args.duration, "heal_all")
 
+    with_sor = args.fault == "sor-brownout"
     report = run_soak(SoakConfig(
         seed=args.seed, duration=args.duration, settle=args.settle,
         num_shards=args.shards, transport=args.transport,
-        observe=True, plan=plan, export_dir=args.out_dir))
+        observe=True, plan=plan, export_dir=args.out_dir,
+        sor=with_sor, sor_backfill=with_sor))
 
     probe_series = [s for s in report.timeseries["series"]
                     if s["name"].startswith("cliquemap_probe_ops_total")]
@@ -264,6 +290,21 @@ def cmd_observe(args: argparse.Namespace) -> int:
     print(render_sli("SLIs (prober vantage)", report.sli))
     print()
     print(render_alerts("SLO alert transitions", report.alerts))
+    if report.sor_stats is not None:
+        from ..analysis import render_table
+        stats = report.sor_stats
+        coord = stats["coordinator"]
+        print()
+        print(render_table(
+            "miss path (read-through coordinator)", ["stat", "value"],
+            [["fetches", f"{coord['fetches']}"],
+             ["coalesced", f"{coord['coalesced']}"],
+             ["backfill shed", f"{stats['backfill_shed']:g}"],
+             ["SoR reads", f"{stats['sor_reads']}"],
+             ["SoR writes", f"{stats['sor_writes']}"],
+             ["SoR throttled", f"{stats['sor_throttled']}"],
+             ["cold-key hits", f"{stats['cold_reads']['hits']}"],
+             ["cold-key bad hits", f"{stats['cold_reads']['bad_hits']}"]]))
     for path in report.exports:
         print(f"wrote {path}")
 
@@ -397,6 +438,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="post-heal convergence window before verification")
     p.add_argument("--shards", type=int, default=3)
     p.add_argument("--keys", type=int, default=12)
+    p.add_argument("--sor", action="store_true",
+                   help="attach a system of record, draw SoR brownouts, "
+                        "and run the cold-keyspace/backfill herd")
     p.add_argument("--transport", default="pony",
                    choices=["pony", "1rma", "rdma"])
     p.set_defaults(func=cmd_chaos)
@@ -413,8 +457,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--transport", default="pony",
                    choices=["pony", "1rma", "rdma"])
     p.add_argument("--fault", default="none",
-                   choices=["none", "partition", "gray-loss", "gray-slow"],
-                   help="inject one fault against the prober/cell")
+                   choices=["none", "partition", "gray-loss", "gray-slow",
+                            "sor-brownout"],
+                   help="inject one fault against the prober/cell "
+                        "(sor-brownout attaches a system of record and "
+                        "runs the thundering-herd/backfill scenario)")
     p.add_argument("--fault-at", type=float, default=0.8,
                    help="fault injection time (simulated seconds)")
     p.add_argument("--fault-duration", type=float, default=0.6)

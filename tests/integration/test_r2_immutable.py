@@ -13,8 +13,8 @@ def build(num_keys=60):
                          transport="pony"))
     sor_host = cell.fabric.add_host("host/sor")
     sor = SystemOfRecord(cell.sim, sor_host)
-    sor.ingest({b"doc-%d" % i: b"payload-%d" % i for i in range(num_keys)})
-    sor.seal()
+    sor.load({b"doc-%d" % i: b"payload-%d" % i for i in range(num_keys)})
+    sor.freeze()
     return cell, sor
 
 
@@ -55,10 +55,10 @@ def test_sor_reads_cost_media_latency():
     assert latency > sor.cost.media_latency
 
 
-def test_sealed_corpus_rejects_ingest():
+def test_sealed_corpus_rejects_load():
     cell, sor = build()
     with pytest.raises(RuntimeError):
-        sor.ingest({b"late": b"write"})
+        sor.load({b"late": b"write"})
 
 
 def test_loader_requires_sealed_corpus():
@@ -66,7 +66,7 @@ def test_loader_requires_sealed_corpus():
                          transport="pony"))
     sor_host = cell.fabric.add_host("host/sor")
     sor = SystemOfRecord(cell.sim, sor_host)
-    sor.ingest({b"k": b"v"})
+    sor.load({b"k": b"v"})
     loader = CorpusLoader(cell, sor)
     proc = cell.sim.process(loader.load())
     proc.defused = True
