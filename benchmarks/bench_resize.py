@@ -1,0 +1,180 @@
+"""Online resize under traffic: handoff throughput and foreground cost.
+
+Production CliqueMap resizes cells while they serve (§6.1): the
+key-range handoff rides the RPC plane while foreground GETs keep their
+RMA fast path and quorum on the authoritative cohort. This bench runs a
+closed-loop GET/SET workload over a loaded cell, measures a fault-free
+baseline window, then drives a full grow+shrink cycle through the
+:class:`~repro.core.ResizeController` while the workload continues.
+
+Shape to hold: **zero** foreground failures (no failed SET, no
+non-HIT GET) across the whole run, handoff throughput of at least
+``THROUGHPUT_FLOOR`` entries/s, and a foreground GET p99 during the
+handoff within ``P99_IMPACT_CEILING``x of the baseline p99 (the handoff
+must not melt the fast path). Writes ``BENCH_resize.json`` at the repo
+root so the perf trajectory records the datapoint.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import run_once
+
+from repro.analysis import write_bench_json
+from repro.core import (Cell, CellSpec, GetStatus, RepairConfig,
+                        ReplicationMode, SetStatus)
+from repro.sim import RandomStream
+
+KEYS = 400
+VALUE_BYTES = 256
+BASELINE_WINDOW = 0.3          # simulated seconds before the resize
+POST_WINDOW = 0.1              # settle after the cycle completes
+THROUGHPUT_FLOOR = 500.0       # backfilled entries per simulated second
+P99_IMPACT_CEILING = 20.0      # p99(during) / p99(baseline)
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_resize.json"
+
+
+def _percentile(samples, pct):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(pct / 100 * len(ordered))))
+    return ordered[index]
+
+
+def run_datapoint() -> dict:
+    cell = Cell(CellSpec(
+        mode=ReplicationMode.R3_2, num_shards=4, transport="pony",
+        seed=1013, repair_config=RepairConfig(enabled=True,
+                                              scan_interval=0.25)))
+    sim = cell.sim
+    reader = cell.connect_client()
+    writer = cell.connect_client()
+    rand = RandomStream(1013, "bench-resize")
+
+    def key(i):
+        return b"bench-%05d" % i
+
+    def preload():
+        for i in range(KEYS):
+            result = yield from writer.set(key(i), b"v" * VALUE_BYTES)
+            assert result.status is SetStatus.APPLIED
+
+    sim.run(until=sim.process(preload()))
+
+    latencies = {"baseline": [], "resize": [], "post": []}
+    failures = {"gets": 0, "sets": 0}
+    phase = ["baseline"]
+    done = [False]
+
+    def reader_loop():
+        while not done[0]:
+            i = rand.randint(0, KEYS - 1)
+            t0 = sim.now
+            result = yield from reader.get(key(i))
+            latencies[phase[0]].append(sim.now - t0)
+            if result.status is not GetStatus.HIT:
+                failures["gets"] += 1
+            yield sim.timeout(0.2e-3)
+
+    def writer_loop():
+        generation = 0
+        while not done[0]:
+            i = rand.randint(0, KEYS - 1)
+            generation += 1
+            result = yield from writer.set(key(i), b"w-%d" % generation)
+            if result.status is not SetStatus.APPLIED:
+                failures["sets"] += 1
+            yield sim.timeout(1e-3)
+
+    def driver():
+        yield sim.timeout(BASELINE_WINDOW)
+        phase[0] = "resize"
+        resize_started = sim.now
+        grow = yield from cell.grow(1)
+        shrink = yield from cell.shrink(count=1)
+        resize_seconds = sim.now - resize_started
+        phase[0] = "post"
+        yield sim.timeout(POST_WINDOW)
+        done[0] = True
+        return grow, shrink, resize_seconds
+
+    procs = [sim.process(reader_loop()), sim.process(writer_loop())]
+    driver_proc = sim.process(driver())
+    sim.run(until=sim.all_of(procs + [driver_proc]))
+    grow, shrink, resize_seconds = driver_proc.value
+
+    stats = cell.resize.stats
+    throughput = stats.entries_backfilled / resize_seconds
+    p99_baseline = _percentile(latencies["baseline"], 99)
+    p99_resize = _percentile(latencies["resize"], 99)
+    result = {
+        "benchmark": "resize_handoff",
+        "transport": "pony",
+        "keys": KEYS,
+        "value_bytes": VALUE_BYTES,
+        "grow": grow,
+        "shrink": shrink,
+        "resize_seconds": resize_seconds,
+        "entries_backfilled": stats.entries_backfilled,
+        "entries_purged": stats.entries_purged,
+        "backfill_sweeps": stats.sweeps,
+        "handoff_entries_per_sec": throughput,
+        "failed_gets": failures["gets"],
+        "failed_sets": failures["sets"],
+        "gets_baseline": len(latencies["baseline"]),
+        "gets_during_resize": len(latencies["resize"]),
+        "p50_baseline_us": 1e6 * _percentile(latencies["baseline"], 50),
+        "p50_resize_us": 1e6 * _percentile(latencies["resize"], 50),
+        "p99_baseline_us": 1e6 * p99_baseline,
+        "p99_resize_us": 1e6 * p99_resize,
+        "p99_impact": p99_resize / p99_baseline,
+        # Regression floors/ceilings asserted by the bench.
+        "throughput_floor": THROUGHPUT_FLOOR,
+        "p99_impact_ceiling": P99_IMPACT_CEILING,
+    }
+    reader.close()
+    writer.close()
+    cell.close()
+    return result
+
+
+def render(result: dict) -> str:
+    return "\n".join([
+        f"resize handoff — {result['keys']} keys x "
+        f"{result['value_bytes']}B, grow+shrink cycle in "
+        f"{result['resize_seconds'] * 1e3:.1f} ms",
+        f"  backfill:   {result['entries_backfilled']} entries in "
+        f"{result['backfill_sweeps']} sweeps "
+        f"({result['handoff_entries_per_sec']:.0f} entries/s, "
+        f"floor {result['throughput_floor']:.0f})",
+        f"  foreground: {result['failed_gets']} failed GETs, "
+        f"{result['failed_sets']} failed SETs over "
+        f"{result['gets_baseline'] + result['gets_during_resize']} ops",
+        f"  GET p99:    {result['p99_baseline_us']:.1f} us baseline -> "
+        f"{result['p99_resize_us']:.1f} us during handoff "
+        f"({result['p99_impact']:.1f}x, ceiling "
+        f"{result['p99_impact_ceiling']:.0f}x)",
+    ])
+
+
+def bench_resize(benchmark):
+    result = run_once(benchmark, run_datapoint)
+    print()
+    print(render(result))
+
+    # Zero foreground impact on correctness: every GET hit, every SET
+    # applied, both handoffs completed.
+    assert result["failed_gets"] == 0, result
+    assert result["failed_sets"] == 0, result
+    assert result["grow"]["outcome"] == "completed", result
+    assert result["shrink"]["outcome"] == "completed", result
+    # The handoff actually moved the keyspace, fast enough.
+    assert result["entries_backfilled"] >= KEYS, result
+    assert result["handoff_entries_per_sec"] >= \
+        result["throughput_floor"], result
+    # Bounded foreground latency impact while the handoff runs.
+    assert result["p99_impact"] <= result["p99_impact_ceiling"], result
+
+    write_bench_json(result, str(OUTPUT))
+    print(f"  wrote {OUTPUT.name}")

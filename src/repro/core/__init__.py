@@ -9,7 +9,7 @@ from .config import (CellConfig, ConfigStore, GetStrategy, LookupStrategy,
                      ReplicationMode)
 from .data import (DataEntryView, DataRegion, encode_entry_parts, entry_size,
                    try_decode)
-from .errors import CliqueMapError, GetStatus, SetStatus
+from .errors import CliqueMapError, ConfigCasError, GetStatus, SetStatus
 from .eviction import (ArcPolicy, EvictionPolicy, LruPolicy, RandomPolicy,
                        make_policy)
 from .federation import FederatedClient, Federation, FederationSpec
@@ -22,6 +22,7 @@ from .maintenance import (MaintenanceConfig, MaintenanceController,
 from .quorum import (QuorumDecision, QuorumOutcome, ReplicaVote, VoteKind,
                      evaluate)
 from .repair import RepairConfig, RepairScanner, RepairStats
+from .resize import ResizeConfig, ResizeController, ResizeStats
 from .resilience import (BackendHealth, BackoffPolicy, HealthPolicy,
                          RetryBudget)
 from .slab import SlabAllocator
@@ -39,7 +40,7 @@ __all__ = [
     "ReplicationMode",
     "DataEntryView", "DataRegion", "encode_entry_parts", "entry_size",
     "try_decode",
-    "CliqueMapError", "GetStatus", "SetStatus",
+    "CliqueMapError", "ConfigCasError", "GetStatus", "SetStatus",
     "ArcPolicy", "EvictionPolicy", "LruPolicy", "RandomPolicy", "make_policy",
     "FederatedClient", "Federation", "FederationSpec",
     "KEY_HASH_BYTES", "Placement", "default_key_hash", "key_hash_to_int",
@@ -48,6 +49,7 @@ __all__ = [
     "MaintenanceConfig", "MaintenanceController", "MaintenanceStats",
     "QuorumDecision", "QuorumOutcome", "ReplicaVote", "VoteKind", "evaluate",
     "RepairConfig", "RepairScanner", "RepairStats",
+    "ResizeConfig", "ResizeController", "ResizeStats",
     "BackendHealth", "BackoffPolicy", "HealthPolicy", "RetryBudget",
     "SlabAllocator", "TombstoneCache", "TrueTime",
     "VERSION_BYTES", "VersionFactory", "VersionNumber",

@@ -24,7 +24,7 @@ from ..transport import RegistrationCostModel, Transport
 from .config import CellConfig
 from .data import DataRegion, encode_entry_parts, entry_size, try_decode
 from .eviction import make_policy
-from .hashing import Placement
+from .hashing import Placement, primary_for
 from .index import IndexRegion, make_scar_program
 from .tombstone import TombstoneCache
 from .version import VersionNumber
@@ -251,7 +251,10 @@ class Backend:
             self.stats.sets_applied += 1
         else:
             self.stats.sets_superseded += 1
-        return {"applied": applied, "reason": reason}
+        # Replies carry the serving generation so even SET-only clients
+        # (which never validate bucket headers) discover config changes.
+        return {"applied": applied, "reason": reason,
+                "config_id": self.config_id}
 
     def _handle_multi_set(self, payload,
                           context: HandlerContext) -> Generator:
@@ -280,7 +283,7 @@ class Backend:
                 self.stats.sets_superseded += 1
             results.append({"applied": applied, "reason": reason})
         context.response_size_override = 32 + 16 * max(1, len(entries))
-        return {"results": results}
+        return {"results": results, "config_id": self.config_id}
 
     def _handle_erase(self, payload, context: HandlerContext) -> Generator:
         key: bytes = payload["key"]
@@ -292,11 +295,13 @@ class Backend:
         try:
             stored = self._stored_version(key_hash)
             if version <= stored:
-                return {"applied": False, "reason": "superseded"}
+                return {"applied": False, "reason": "superseded",
+                        "config_id": self.config_id}
             yield from self._remove_entry(key_hash)
             self.tombstones.note_erase(key_hash, version)
             self.stats.erases_applied += 1
-            return {"applied": True, "reason": "ok"}
+            return {"applied": True, "reason": "ok",
+                    "config_id": self.config_id}
         finally:
             self._unlock_key(key_hash, lock)
 
@@ -317,7 +322,8 @@ class Backend:
             if stored != expected:
                 self.stats.cas_failed += 1
                 return {"applied": False, "reason": "version-mismatch",
-                        "stored_version": stored.pack()}
+                        "stored_version": stored.pack(),
+                        "config_id": self.config_id}
             applied, reason = yield from self._apply_set_locked(
                 key, key_hash, value, new_version)
         finally:
@@ -327,7 +333,8 @@ class Backend:
         else:
             self.stats.cas_failed += 1
         return {"applied": applied, "reason": reason,
-                "stored_version": stored.pack()}
+                "stored_version": stored.pack(),
+                "config_id": self.config_id}
 
     def _handle_lookup(self, payload, context: HandlerContext) -> Generator:
         """Two-sided lookup: RPC fallback, WAN access, overflow hits."""
@@ -377,15 +384,22 @@ class Backend:
 
     def _handle_scan_summary(self, payload, context: HandlerContext
                              ) -> Generator:
-        """KeyHash -> version exchange for cohort repair scans (§5.4)."""
+        """KeyHash -> version exchange for cohort repair scans (§5.4).
+
+        An optional ``num_shards`` evaluates the primary filter under a
+        different modulus than this backend's own placement — resize
+        backfill asks old-layout tasks "what do you hold that shard *i*
+        of the target layout owns" this way.
+        """
         shard_filter = payload.get("primary_shard")
+        num_shards = payload.get("num_shards") or self.placement.num_shards
         yield from self.host.execute(
             self.config.scan_cpu_per_entry * max(1, self.resident_keys),
             self._component)
         summary: Dict[bytes, bytes] = {}
         for key_hash, version in self._iter_versions():
             if shard_filter is not None and \
-                    self.placement.primary_shard(key_hash) != shard_filter:
+                    primary_for(key_hash, num_shards) != shard_filter:
                 continue
             summary[key_hash] = version.pack()
         context.response_size_override = 32 * max(1, len(summary))
@@ -903,6 +917,35 @@ class Backend:
                 value, version = found
                 out.append((key, value, version.pack()))
         return out
+
+    def purge_nonresident(self, placement: Placement,
+                          shard: int) -> Generator:
+        """Drop every entry this task does not own while serving
+        ``shard`` under ``placement``; returns the number purged.
+
+        Run after a resize cutover: survivors otherwise keep stale
+        copies of key ranges that moved to other cohorts, and those
+        copies would never again be repaired or mutated (repair scans
+        and client quorums only visit the owning cohort). Purged via the
+        standard removal procedure, so racing RMA reads poison
+        themselves instead of observing freed bytes.
+        """
+        owned = set((shard - back) % placement.num_shards
+                    for back in range(placement.replication))
+        purged = 0
+        for key_hash, _version in list(self._iter_versions()):
+            if primary_for(key_hash, placement.num_shards) in owned:
+                continue
+            lock = yield from self._lock_key(key_hash)
+            try:
+                yield from self._remove_entry(key_hash)
+                self.tombstones.forget(key_hash)
+            finally:
+                self._unlock_key(key_hash, lock)
+            purged += 1
+            if purged % 64 == 0:
+                yield from self.host.execute(2e-6, self._component)
+        return purged
 
     def adopt_config_id(self, config_id: int) -> None:
         """Stamp a new configuration generation into every bucket header,

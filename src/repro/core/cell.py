@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 
 from ..net import Fabric, FabricConfig, Host, HostConfig
 from ..rpc import Acl, Principal
-from ..sim import Simulator
+from ..sim import Resource, Simulator
 from ..telemetry import MetricsRegistry, Tracer
 from ..transport import (OneRmaTransport, PonyTransport, RdmaTransport,
                          Transport)
@@ -25,6 +25,7 @@ from .config import (CellConfig, ConfigStore, GetStrategy, ReplicationMode)
 from .hashing import Placement
 from .maintenance import MaintenanceConfig, MaintenanceController
 from .repair import RepairConfig, RepairScanner
+from .resize import ResizeConfig, ResizeController
 
 
 @dataclass
@@ -41,6 +42,7 @@ class CellSpec:
         default_factory=lambda: RepairConfig(enabled=False))
     maintenance_config: MaintenanceConfig = field(
         default_factory=MaintenanceConfig)
+    resize_config: ResizeConfig = field(default_factory=ResizeConfig)
     fabric_config: FabricConfig = field(default_factory=FabricConfig)
     host_config: HostConfig = field(default_factory=HostConfig)
     config_store_latency: float = 300e-6
@@ -110,6 +112,11 @@ class Cell:
         self._client_count = 0
         self._client_seq = 0
         self._clients: List[CliqueMapClient] = []
+        # Serializes topology-changing controllers (resize vs planned
+        # maintenance); the config store's CAS backstops anyone who
+        # bypasses it.
+        self.topology_lock = Resource(self.sim, capacity=1)
+        self._task_seq = self.spec.num_shards
 
         shard_tasks = []
         for shard in range(self.spec.num_shards):
@@ -129,6 +136,8 @@ class Cell:
 
         self.maintenance = MaintenanceController(
             self.sim, self, self.spec.maintenance_config)
+        self.resize = ResizeController(self.sim, self,
+                                       self.spec.resize_config)
         if self.spec.repair_config.enabled:
             for task, backend in self.backends.items():
                 if backend.shard >= 0:
@@ -138,9 +147,12 @@ class Cell:
     # Construction helpers
     # ------------------------------------------------------------------
 
-    def _create_backend(self, task: str, shard: int) -> Backend:
+    def _create_backend(self, task: str, shard: int,
+                        placement: Optional[Placement] = None) -> Backend:
         host = self.fabric.add_host(f"host/{task}", self.spec.host_config)
-        backend = Backend(self.sim, host, task, shard, self.placement,
+        backend = Backend(self.sim, host, task, shard,
+                          placement if placement is not None
+                          else self.placement,
                           self._cell_config_view(),
                           config=self.spec.backend_config,
                           transport=self.transport, registry=self.metrics)
@@ -191,7 +203,15 @@ class Cell:
         return self.backends[task]
 
     def task_for_shard(self, shard: int) -> str:
-        return self.config_store.peek(self.spec.name).shard_tasks[shard]
+        return self.config_store.peek(self.spec.name).task_for_shard(shard)
+
+    def new_task_name(self) -> str:
+        """A backend task name never used in this cell (for grow)."""
+        while True:
+            task = f"backend-{self._task_seq}"
+            self._task_seq += 1
+            if task not in self.backends:
+                return task
 
     def scanner_for(self, task: str) -> Optional[RepairScanner]:
         return self.scanners.get(task)
@@ -228,9 +248,13 @@ class Cell:
                 config.spares = [t for t in self._spare_pool]
 
         updated = self.config_store.update(self.spec.name, mutate)
+        self.adopt_config(updated)
+
+    def adopt_config(self, updated: CellConfig) -> None:
+        """Install a freshly-published generation cell-wide: backends
+        stamp it into bucket headers so clients discover the
+        reconfiguration during response validation (§6.1)."""
         self.cell_config = updated
-        # Backends stamp the new generation into bucket headers so clients
-        # discover the reconfiguration during response validation (§6.1).
         for backend in self.backends.values():
             if backend.alive:
                 backend.adopt_config_id(updated.config_id)
@@ -239,7 +263,9 @@ class Cell:
         """Bring a task back with fresh (empty) state after a restart."""
         old = self.backends[task]
         old.host.restart()
-        backend = Backend(self.sim, old.host, task, shard, self.placement,
+        # Keep the old backend's placement: mid-resize a joining task
+        # restarts under the *target* layout, not the cell's.
+        backend = Backend(self.sim, old.host, task, shard, old.placement,
                           self.config_store.peek(self.spec.name),
                           config=self.spec.backend_config,
                           transport=self.transport, registry=self.metrics)
@@ -247,6 +273,19 @@ class Cell:
         if task in self.scanners or self.spec.repair_config.enabled:
             self._start_scanner(task)
         return backend
+
+    # ------------------------------------------------------------------
+    # Elastic resize (delegates to the resize controller)
+    # ------------------------------------------------------------------
+
+    def grow(self, count: int = 1):
+        """Add ``count`` backend tasks online (a generator — drive it as
+        a sim process). Returns the handoff summary dict."""
+        return self.resize.grow(count)
+
+    def shrink(self, tasks: Optional[List[str]] = None, count: int = 1):
+        """Drain tasks out of the cell online (a generator)."""
+        return self.resize.shrink(tasks=tasks, count=count)
 
     # ------------------------------------------------------------------
     # Clients

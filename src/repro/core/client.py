@@ -257,11 +257,16 @@ class CliqueMapClient:
 
         self.cell: Optional[CellConfig] = None
         self.placement: Optional[Placement] = None
+        # Target-layout placement while a resize is in flight (None
+        # otherwise): reads keep their quorum on ``placement``; mutations
+        # are additionally shadowed onto the target cohort.
+        self.next_placement: Optional[Placement] = None
         self._views: Dict[str, BackendView] = {}
         self._pending_touches: Dict[str, List[bytes]] = {}
         self._pending_touch_count = 0
         self._touch_flusher_started = False
         self._reconnecting: set = set()
+        self._config_refreshing = False
         self._closed = False
         # Miss-path coordinator; wired by Cell.attach_sor / make_client.
         # When set, cache MISSes read through to the system of record
@@ -317,6 +322,10 @@ class CliqueMapClient:
         self._m_batch_fallback = self.metrics.counter(
             "cliquemap_batch_fallback_total",
             "Batch keys diverted to the singleton retry path, by op/reason")
+        self._m_shadow = self.metrics.counter(
+            "cliquemap_shadow_writes_total",
+            "Dual-write shadows onto a resize target cohort, by "
+            "method and outcome")
 
         # Pre-bound series handles for the per-op hot path. Resolving
         # ``labels(...)`` sorts and hashes the label set on every call;
@@ -349,11 +358,22 @@ class CliqueMapClient:
 
     def connect(self) -> Generator:
         """Fetch cell config and handshake with every serving backend."""
-        self.cell = yield from self.config_store.get(self.cell_name)
-        self.placement = Placement(self.cell.num_shards,
-                                   self.cell.mode.replicas)
-        for task in set(self.cell.shard_tasks):
+        config = yield from self.config_store.get(self.cell_name)
+        self._adopt_config(config)
+        for task in set(self.cell.serving_tasks()):
             yield from self._build_view(task)
+
+    def _adopt_config(self, config: CellConfig) -> None:
+        """Install a config generation: rebuild the authoritative
+        placement and, mid-resize, the target-layout placement too."""
+        self.cell = config
+        self.placement = Placement(config.num_shards,
+                                   config.mode.replicas)
+        if config.resize_active:
+            self.next_placement = Placement(config.resize_num_shards,
+                                            config.mode.replicas)
+        else:
+            self.next_placement = None
 
     def _health_event(self, task: str, event: str) -> None:
         self._m_quarantine.labels(task=task, event=event).inc()
@@ -403,10 +423,35 @@ class CliqueMapClient:
 
     def _refresh_config(self) -> Generator:
         """Re-read cell topology from the external HA store (§6.1)."""
-        self.cell = yield from self.config_store.get(self.cell_name)
+        config = yield from self.config_store.get(self.cell_name)
+        self._adopt_config(config)
         self.stats["config_refreshes"] += 1
-        for task in set(self.cell.shard_tasks):
+        for task in set(self.cell.serving_tasks()):
             yield from self._build_view(task)
+
+    def _note_stale_config(self, config_id: int) -> None:
+        """A reply proved the cell moved on: refresh in the background.
+
+        Mutation replies carry the backend's serving generation, so even
+        a SET-only client (which never validates bucket headers, the
+        usual discovery path) learns about resize phases and cutover.
+        Deduped: one refresh in flight at a time.
+        """
+        if self._closed or self.cell is None:
+            return
+        if config_id <= self.cell.config_id or self._config_refreshing:
+            return
+        self._config_refreshing = True
+
+        def refresh() -> Generator:
+            try:
+                yield from self._refresh_config()
+            finally:
+                self._config_refreshing = False
+
+        proc = self.sim.process(refresh(),
+                                name=f"config-refresh:{self.client_id}")
+        proc.defused = True
 
     def _start_reconnect(self, task: str) -> None:
         if task in self._reconnecting:
@@ -420,7 +465,7 @@ class CliqueMapClient:
         try:
             while True:
                 yield self.sim.sleep(self.config.reconnect_interval)
-                if task not in {t for t in self.cell.shard_tasks}:
+                if task not in set(self.cell.serving_tasks()):
                     return  # task no longer serves; a refresh will rebuild
                 view = yield from self._build_view(task)
                 if view.health.connected:
@@ -441,6 +486,51 @@ class CliqueMapClient:
             if view.healthy:
                 views.append(view)
         return views
+
+    def _shadow_views(self, key_hash: bytes) -> List[BackendView]:
+        """Target-cohort views a mutation must dual-write to (resize).
+
+        The key's cohort under the *target* layout, minus any task that
+        is already in its authoritative cohort (those get the real
+        mutation). Empty when no resize is in flight.
+        """
+        cell = self.cell
+        if cell is None or not cell.resize_active or \
+                self.next_placement is None:
+            return []
+        exclude = {cell.task_for_shard(shard)
+                   for shard in self.placement.shards_for(key_hash)}
+        views = []
+        for shard in self.next_placement.shards_for(key_hash):
+            task = cell.migrating_to.get(shard)
+            if task is None or task in exclude:
+                continue
+            view = self._views.get(task)
+            if view is not None and view.healthy:
+                views.append(view)
+        return views
+
+    def _shadow_mutate(self, view: BackendView, method: str, payload: dict,
+                       payload_size: int) -> None:
+        """Fire-and-forget one shadow mutation at a target-cohort task.
+
+        Shadows never count toward the quorum (acks come only from the
+        authoritative cohort) and never block the foreground op; a lost
+        shadow is caught by the post-cutover reconcile sweep.
+        """
+
+        def one() -> Generator:
+            try:
+                yield from view.channel.call(
+                    method, payload,
+                    deadline=self.config.mutation_rpc_deadline,
+                    request_size=payload_size)
+                self._m_shadow.labels(method=method, outcome="ok").inc()
+            except (PermissionDeniedError, RpcError):
+                self._m_shadow.labels(method=method, outcome="error").inc()
+
+        proc = self.sim.process(one(), name=f"shadow:{view.task}")
+        proc.defused = True
 
     # ------------------------------------------------------------------
     # GET
@@ -1693,13 +1783,26 @@ class CliqueMapClient:
         results: List[Optional[MutationResult]] = [None] * n
         fallback: Dict[int, str] = {}
         per_view: Dict[str, List[int]] = {}
+        per_shadow: Dict[str, List[int]] = {}
         for i, (key, _value) in enumerate(items):
-            views = self._replica_views(self.placement.key_hash(key))
+            key_hash = self.placement.key_hash(key)
+            views = self._replica_views(key_hash)
+            for shadow in self._shadow_views(key_hash):
+                per_shadow.setdefault(shadow.task, []).append(i)
             if not views:
                 fallback[i] = "no-healthy-replicas"
                 continue
             for view in views:
                 per_view.setdefault(view.task, []).append(i)
+        # Dual-write shadows: fire-and-forget MultiSets at the resize
+        # target cohort; never counted toward per-key quorum below.
+        for task, idxs in per_shadow.items():
+            entries = [[items[i][0], encoded[i], versions[i].pack()]
+                       for i in idxs]
+            size = sum(len(items[i][0]) + len(encoded[i])
+                       for i in idxs) + 64 + 24 * len(idxs)
+            self._shadow_mutate(self._views[task], "MultiSet",
+                                {"entries": entries}, size)
         applied = [0] * n
         superseded = [0] * n
         span = root.child("mutate", method="MultiSet",
@@ -1716,6 +1819,10 @@ class CliqueMapClient:
                     deadline=self.config.mutation_rpc_deadline,
                     request_size=size, trace=span)
                 view.health.record_success()
+                reply_config = reply.get("config_id")
+                if reply_config is not None and \
+                        reply_config > self.cell.config_id:
+                    self._note_stale_config(reply_config)
                 return reply.get("results", [])
             except PermissionDeniedError:
                 return None  # unauthorized: not retryable
@@ -1943,6 +2050,8 @@ class CliqueMapClient:
         yield from self.host.execute(self.config.costs.mutation_cpu,
                                      "cliquemap-client")
         views = self._replica_views(key_hash)
+        for shadow in self._shadow_views(key_hash):
+            self._shadow_mutate(shadow, method, payload, payload_size)
         if not views:
             return []
         fanout_span = span.child("mutate", attempt=attempt, method=method)
@@ -1954,6 +2063,10 @@ class CliqueMapClient:
                     deadline=self.config.mutation_rpc_deadline,
                     request_size=payload_size, trace=fanout_span)
                 view.health.record_success()
+                reply_config = reply.get("config_id")
+                if reply_config is not None and \
+                        reply_config > self.cell.config_id:
+                    self._note_stale_config(reply_config)
                 return reply
             except PermissionDeniedError:
                 return None  # unauthorized: not retryable

@@ -13,10 +13,10 @@ from __future__ import annotations
 import copy
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List
+from typing import Dict, Generator, List, Optional
 
 from ..sim import Simulator
-from .errors import CliqueMapError
+from .errors import CliqueMapError, ConfigCasError
 
 
 class ReplicationMode(enum.Enum):
@@ -92,9 +92,40 @@ class CellConfig:
     spares: List[str] = field(default_factory=list)
     # task name -> shard it is temporarily covering (migrations in flight).
     spare_roles: Dict[str, int] = field(default_factory=dict)
+    # --- Online resize (elastic cells) ---------------------------------
+    # While a resize is in flight the authoritative layout above stays
+    # frozen (reads keep quorum on the old cohort); these fields publish
+    # the target so clients dual-write and controllers coordinate.
+    resize_num_shards: int = 0                 # 0 = no resize in flight
+    # Target-layout shard index -> task that will serve it after cutover.
+    migrating_to: Dict[int, str] = field(default_factory=dict)
+    # Tasks leaving the cell at cutover (shrink); drained afterwards.
+    draining: List[str] = field(default_factory=list)
+
+    @property
+    def resize_active(self) -> bool:
+        return self.resize_num_shards > 0
 
     def task_for_shard(self, shard: int) -> str:
-        return self.shard_tasks[shard]
+        if shard < len(self.shard_tasks):
+            return self.shard_tasks[shard]
+        # A joining shard index (resize in flight): resolve through the
+        # dual-assignment so repair/backfill machinery can reach it.
+        if self.resize_active and shard in self.migrating_to:
+            return self.migrating_to[shard]
+        return self.shard_tasks[shard]  # IndexError: genuinely unknown
+
+    def serving_tasks(self) -> List[str]:
+        """Every task addressable this generation: the authoritative
+        layout plus (mid-resize) the target cohort, de-duplicated."""
+        tasks = list(self.shard_tasks)
+        seen = set(tasks)
+        for shard in sorted(self.migrating_to):
+            task = self.migrating_to[shard]
+            if task not in seen:
+                seen.add(task)
+                tasks.append(task)
+        return tasks
 
     def clone(self) -> "CellConfig":
         return copy.deepcopy(self)
@@ -114,9 +145,22 @@ class ConfigStore:
         """Install or replace a cell's configuration (bumps nothing)."""
         self._cells[config.name] = config.clone()
 
-    def update(self, name: str, mutate) -> CellConfig:
-        """Apply ``mutate(config)`` and bump the configuration generation."""
+    def update(self, name: str, mutate,
+               expected_config_id: Optional[int] = None) -> CellConfig:
+        """Apply ``mutate(config)`` and bump the configuration generation.
+
+        With ``expected_config_id`` the update is a compare-and-swap:
+        it applies only if the store's current generation matches, and
+        raises :class:`~repro.core.errors.ConfigCasError` otherwise.
+        Concurrent controllers (resize + maintenance) use this so one
+        cannot silently clobber the other's generation bump.
+        """
         config = self._cells[name]
+        if expected_config_id is not None and \
+                config.config_id != expected_config_id:
+            raise ConfigCasError(
+                f"config CAS failed for cell {name!r}: expected generation "
+                f"{expected_config_id}, store has {config.config_id}")
         mutate(config)
         config.config_id += 1
         self.updates += 1

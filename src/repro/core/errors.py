@@ -18,6 +18,13 @@ class CliqueMapError(Exception):
     configuration); operational failures surface as statuses instead."""
 
 
+class ConfigCasError(CliqueMapError):
+    """A compare-and-swap config update lost a race: the store's
+    generation no longer matches the caller's expected ``config_id``.
+    Controllers re-read the config and re-decide rather than clobber a
+    concurrent controller's generation bump."""
+
+
 class GetStatus(enum.Enum):
     """Outcome of a GET operation."""
 

@@ -25,6 +25,17 @@ def key_hash_to_int(key_hash: bytes) -> int:
     return int.from_bytes(key_hash, "little")
 
 
+def primary_for(key_hash: bytes, num_shards: int) -> int:
+    """Logical primary shard of a KeyHash under an arbitrary modulus.
+
+    The bucket selector uses the low bits; shard selection uses the
+    *high* 64 bits so the two are independent. Exposed module-level so
+    resize backfill can evaluate ownership under the *target* layout
+    while backends still carry the old placement.
+    """
+    return int.from_bytes(key_hash[8:], "little") % num_shards
+
+
 class Placement:
     """Maps KeyHashes to logical shards and replica cohorts.
 
@@ -48,9 +59,7 @@ class Placement:
         return self.hash_function(key)
 
     def primary_shard(self, key_hash: bytes) -> int:
-        # The bucket selector uses the low bits; use the *high* 64 bits for
-        # shard selection so the two are independent.
-        return int.from_bytes(key_hash[8:], "little") % self.num_shards
+        return primary_for(key_hash, self.num_shards)
 
     def shards_for(self, key_hash: bytes) -> List[int]:
         """All shards holding copies of this key, primary first."""

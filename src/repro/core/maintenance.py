@@ -11,6 +11,10 @@ dead server. After the restart, the spare hands the shard back.
 Unplanned failures skip the graceful hand-off: the host simply dies, the
 task restarts after a delay, and en-masse repairs (§5.4) repopulate it
 from the healthy cohort.
+
+Planned maintenance holds the cell's topology lock for its whole cycle,
+so it serializes against an online resize (and vice versa); unplanned
+crashes, being crashes, take no lock.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ from typing import Generator, List, Optional, Tuple
 
 from ..rpc import Principal, RpcError, connect as rpc_connect
 from ..sim import Simulator
+from .errors import CliqueMapError
 
 
 @dataclass
@@ -35,6 +40,7 @@ class MaintenanceStats:
     planned_migrations: int = 0
     entries_migrated: int = 0
     unplanned_restarts: int = 0
+    migration_rpc_errors: int = 0
 
 
 class MaintenanceController:
@@ -49,17 +55,35 @@ class MaintenanceController:
         self._m_events = cell.metrics.counter(
             "cliquemap_maintenance_events_total",
             "Maintenance events driven on the cell, by kind")
+        self._m_rpc_errors = cell.metrics.counter(
+            "cliquemap_migration_rpc_errors_total",
+            "Migration MigrateIn batches that failed (reconciled by "
+            "repair), by direction")
 
     # ------------------------------------------------------------------
     # Planned maintenance
     # ------------------------------------------------------------------
 
     def planned_restart(self, shard: int) -> Generator:
-        """Full cycle: migrate to spare, restart primary, migrate back."""
+        """Full cycle: migrate to spare, restart primary, migrate back.
+
+        Serialized against other topology changes (resize, concurrent
+        planned restarts) via the cell's topology lock.
+        """
+        request = self.cell.topology_lock.request()
+        yield request
+        try:
+            yield from self._planned_restart_locked(shard)
+        finally:
+            self.cell.topology_lock.release(request)
+
+    def _planned_restart_locked(self, shard: int) -> Generator:
         primary_task = self.cell.task_for_shard(shard)
         spare_task = self.cell.take_spare()
         if spare_task is None:
-            raise RuntimeError("no warm spare available")
+            raise CliqueMapError(
+                f"no warm spare available for planned maintenance of "
+                f"shard {shard} (cell has an empty spare pool)")
         primary = self.cell.backend_by_task(primary_task)
         spare = self.cell.backend_by_task(spare_task)
         self.stats.planned_migrations += 1
@@ -67,7 +91,7 @@ class MaintenanceController:
 
         # 1. Transfer identity and data to the spare (RPC traffic).
         spare.shard = shard
-        yield from self._transfer(primary, spare)
+        yield from self._transfer(primary, spare, direction="to-spare")
 
         # 2. Point the shard at the spare and bump the config generation;
         #    backends stamp the new id into bucket headers so clients
@@ -82,13 +106,14 @@ class MaintenanceController:
         # 4. The spare returns the shard's data (RPC traffic again), then
         #    releases its copy (a non-disruptive restart to empty state,
         #    freeing the DRAM for the next maintenance event).
-        yield from self._transfer(spare, restarted)
+        yield from self._transfer(spare, restarted, direction="from-spare")
         self.cell.return_spare(spare_task)
         self.cell.repoint_shard(shard, primary_task, spare_role=False)
         spare.stop()
         self.cell.restart_backend_task(spare_task, shard=-1)
 
-    def _transfer(self, source, target) -> Generator:
+    def _transfer(self, source, target,
+                  direction: str = "to-spare") -> Generator:
         """Stream every resident entry from source to target in batches."""
         entries = source.snapshot_entries()
         channel = rpc_connect(
@@ -99,21 +124,24 @@ class MaintenanceController:
         for entry in entries:
             batch.append(entry)
             if len(batch) >= self.config.migrate_batch:
-                yield from self._send_batch(channel, batch)
+                yield from self._send_batch(channel, batch, direction)
                 self.stats.entries_migrated += len(batch)
                 batch = []
         if batch:
-            yield from self._send_batch(channel, batch)
+            yield from self._send_batch(channel, batch, direction)
             self.stats.entries_migrated += len(batch)
 
-    def _send_batch(self, channel, batch) -> Generator:
+    def _send_batch(self, channel, batch, direction: str) -> Generator:
         size = sum(len(k) + len(v) + 32 for k, v, _ in batch)
         try:
             yield from channel.call("MigrateIn", {"entries": batch},
                                     deadline=self.config.rpc_deadline,
                                     request_size=size)
         except RpcError:
-            pass  # repairs will reconcile any gap
+            # Repairs reconcile the gap, but the failure must be visible:
+            # a silent drop here looks identical to a healthy migration.
+            self.stats.migration_rpc_errors += 1
+            self._m_rpc_errors.labels(direction=direction).inc()
 
     # ------------------------------------------------------------------
     # Unplanned maintenance
@@ -123,7 +151,15 @@ class MaintenanceController:
                         restart_delay: Optional[float] = None) -> Generator:
         """Forcibly crash the shard's backend, restart it later, repair."""
         task = self.cell.task_for_shard(shard)
+        return (yield from self.unplanned_crash_task(task, restart_delay))
+
+    def unplanned_crash_task(self, task: str,
+                             restart_delay: Optional[float] = None
+                             ) -> Generator:
+        """Crash a backend *task* (it may be mid-migration or a resize
+        joiner, i.e. not currently resolvable through a shard index)."""
         backend = self.cell.backend_by_task(task)
+        shard = backend.shard
         backend.crash()
         self.stats.unplanned_restarts += 1
         self._m_events.labels(kind="unplanned-crash").inc()

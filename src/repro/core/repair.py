@@ -60,6 +60,7 @@ class RepairStats:
     keys_repaired: int = 0
     restart_recoveries: int = 0
     keys_recovered: int = 0
+    rpc_errors: int = 0          # repair RPCs that failed (no longer silent)
 
 
 class RepairScanner:
@@ -77,6 +78,13 @@ class RepairScanner:
             REPAIR_CLIENT_ID_BASE + backend.shard,
             TrueTime(sim))
         self._proc = None
+        # Repair RPC failures are retried by later scans, but they are
+        # no longer silent: every one is counted by method.
+        registry = getattr(cell, "metrics", None)
+        self._m_rpc_errors = registry.counter(
+            "cliquemap_repair_rpc_errors_total",
+            "Repair-plane RPCs that failed, by method"
+        ) if registry is not None else None
 
     # -- wiring -----------------------------------------------------------
 
@@ -86,6 +94,19 @@ class RepairScanner:
         self._proc = self.sim.process(self._scan_loop(),
                                       name=f"repair:{self.backend.task_name}")
         self._proc.defused = True
+
+    def stop(self) -> None:
+        """Stop the periodic scan loop (a draining task leaves the
+        cell; its scanner must not keep repairing under a stale
+        placement)."""
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt()
+        self._proc = None
+
+    def _count_rpc_error(self, method: str) -> None:
+        self.stats.rpc_errors += 1
+        if self._m_rpc_errors is not None:
+            self._m_rpc_errors.labels(method=method).inc()
 
     def _channel_to(self, task: str):
         peer = self.cell.backend_by_task(task)
@@ -139,6 +160,7 @@ class RepairScanner:
                     "ScanSummary", {"primary_shard": primary},
                     deadline=self.config.rpc_deadline)
             except RpcError:
+                self._count_rpc_error("ScanSummary")
                 return  # peer unreachable; skip this round
             summaries[task] = {
                 kh: VersionNumber.unpack(vb)
@@ -197,6 +219,7 @@ class RepairScanner:
                 "RepairGet", {"key_hash": key_hash},
                 deadline=self.config.rpc_deadline)
         except RpcError:
+            self._count_rpc_error("RepairGet")
             return None
         if not reply.get("found"):
             return None
@@ -216,7 +239,76 @@ class RepairScanner:
                                     deadline=self.config.rpc_deadline,
                                     request_size=size)
         except RpcError:
-            pass  # the peer will be caught by a later scan
+            # The peer will be caught by a later scan — but the failure
+            # is counted, not swallowed silently.
+            self._count_rpc_error("MigrateIn")
+
+    # -- pull-based recovery (restarts, resize backfill) ----------------------
+
+    def recover_from(self, peer_tasks: List[str],
+                     placement=None, shard: Optional[int] = None
+                     ) -> Generator:
+        """Pull every entry this backend should hold — serving ``shard``
+        under ``placement`` (defaults: its own) — that a peer holds at a
+        newer version or that is missing locally. Returns the number of
+        entries installed.
+
+        This is restart recovery generalized for elastic cells: during a
+        resize the new replica pulls its key ranges from the *old*
+        cohort, filtering peer summaries under the target modulus (the
+        ``num_shards`` override on ScanSummary). Installs keep the
+        source versions and are arbitrated by the backend, so re-running
+        a sweep is idempotent — the converging-handoff property resize
+        cutover relies on.
+        """
+        placement = placement if placement is not None \
+            else self.backend.placement
+        shard = self.backend.shard if shard is None else shard
+        primaries = [(shard - back) % placement.num_shards
+                     for back in range(placement.replication)]
+        have: Dict[bytes, VersionNumber] = dict(
+            self.backend._iter_versions())
+        installed = 0
+        for primary in primaries:
+            merged: Dict[bytes, VersionNumber] = {}
+            source: Dict[bytes, str] = {}
+            for task in peer_tasks:
+                if task == self.backend.task_name:
+                    continue
+                channel = self._channel_to(task)
+                try:
+                    reply = yield from channel.call(
+                        "ScanSummary",
+                        {"primary_shard": primary,
+                         "num_shards": placement.num_shards},
+                        deadline=self.config.rpc_deadline)
+                except RpcError:
+                    self._count_rpc_error("ScanSummary")
+                    continue
+                for kh, vb in reply["entries"].items():
+                    version = VersionNumber.unpack(vb)
+                    if kh not in merged or version > merged[kh]:
+                        merged[kh] = version
+                        source[kh] = task
+            batch = []
+            for key_hash, version in merged.items():
+                mine = have.get(key_hash)
+                if mine is not None and mine >= version:
+                    continue
+                kv = yield from self._fetch_kv(key_hash, source[key_hash])
+                if kv is None:
+                    continue
+                key, value, src_version = kv
+                batch.append((key, value, src_version.pack()))
+                if len(batch) >= self.config.batch_size:
+                    yield from self._install(self.backend.task_name, batch)
+                    installed += len(batch)
+                    batch = []
+            if batch:
+                yield from self._install(self.backend.task_name, batch)
+                installed += len(batch)
+        self.stats.keys_recovered += installed
+        return installed
 
     # -- restart recovery --------------------------------------------------------
 

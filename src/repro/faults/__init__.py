@@ -1,9 +1,11 @@
 """First-class fault injection: plans, injectors, and chaos soaks."""
 
 from .plan import DEFAULT_KINDS, FaultEvent, FaultInjector, FaultPlan
-from .soak import SoakConfig, SoakReport, run_soak
+from .soak import (RESIZE_SCENARIOS, SoakConfig, SoakReport, resize_plan,
+                   run_soak)
 
 __all__ = [
     "DEFAULT_KINDS", "FaultEvent", "FaultInjector", "FaultPlan",
-    "SoakConfig", "SoakReport", "run_soak",
+    "RESIZE_SCENARIOS", "SoakConfig", "SoakReport", "resize_plan",
+    "run_soak",
 ]

@@ -23,7 +23,10 @@ from ..net import Host, LinkFault
 from ..sim import RandomStream
 
 # Kinds drawn by default plan generation. "sor_brownout" is opt-in (it
-# needs an attached SoR and would perturb existing seeded plans).
+# needs an attached SoR and would perturb existing seeded plans), as are
+# "resize" (drives an online grow/shrink) and "crash_task" (crashes a
+# backend by task name — reaches resize joiners that have no shard index
+# in the authoritative layout).
 DEFAULT_KINDS = ("crash", "partition", "heal", "gray", "antagonist",
                  "nothing")
 
@@ -261,6 +264,39 @@ class FaultInjector:
                 return
             sor.brownout(event.args.get("factor", 0.1),
                          duration=event.duration)
+        elif kind == "resize":
+            # Online grow/shrink under whatever else the plan is doing.
+            # Skipped (and recorded as such) while another topology
+            # change is in flight, or when a shrink would take the cell
+            # below its replication factor.
+            action = event.args.get("action", "grow")
+            count = event.args.get("count", 1)
+            if self.cell.resize.active or self.cell.topology_lock.count:
+                self._record(event, "skipped")
+                return
+            current = self.cell.config_store.peek(self.cell.spec.name)
+            if action == "shrink" and \
+                    len(current.shard_tasks) - count < \
+                    current.mode.replicas:
+                self._record(event, "skipped")
+                return
+            gen = self.cell.grow(count) if action == "grow" \
+                else self.cell.shrink(count=count)
+            proc = self.sim.process(gen, name=f"fault-resize:{action}")
+            proc.defused = True
+        elif kind == "crash_task":
+            # Crash a backend by task name: reaches tasks with no shard
+            # index in the authoritative layout (resize joiners).
+            task = event.args["task"]
+            backend = self.cell.backends.get(task)
+            if backend is None or not backend.alive:
+                self._record(event, "skipped")
+                return
+            proc = self.sim.process(
+                self.cell.maintenance.unplanned_crash_task(
+                    task, restart_delay=event.args.get("restart_delay")),
+                name=f"fault-crash:{task}")
+            proc.defused = True
         else:
             raise ValueError(f"unknown fault kind {kind!r}")
         self._record(event, "fired")

@@ -22,11 +22,18 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..core import (Cell, CellSpec, ClientConfig, GetStatus, GetStrategy,
+from ..core import (BackendConfig, Cell, CellSpec, ClientConfig,
+                    CliqueMapError, GetStatus, GetStrategy,
                     MaintenanceConfig, RepairConfig, ReplicationMode,
-                    SetStatus)
+                    ResizeConfig, SetStatus)
 from ..sim import RandomStream
 from .plan import DEFAULT_KINDS, FaultInjector, FaultPlan
+
+#: Resize chaos scenarios accepted by ``SoakConfig.resize`` (and the
+#: ``chaos --resize`` / ``observe --fault resize`` CLIs). Each schedules
+#: a grow+shrink cycle; all but "cycle" land an antagonist fault on it.
+RESIZE_SCENARIOS = ("cycle", "partition", "gray", "target_crash",
+                    "pressure")
 
 # Metric families summarized in SoakReport.reaction_rows(); the soak's
 # reaction story in one table.
@@ -43,7 +50,55 @@ _REACTION_FAMILIES = (
     "cliquemap_sor_fetches_total",
     "cliquemap_sor_writebacks_total",
     "cliquemap_sor_requests_total",
+    # Elastic-cell families (0 when no resize ran).
+    "cliquemap_resize_events_total",
+    "cliquemap_resize_backfill_entries_total",
+    "cliquemap_shadow_writes_total",
+    "cliquemap_migration_rpc_errors_total",
+    "cliquemap_repair_rpc_errors_total",
+    "cliquemap_autoscaler_decisions_total",
 )
+
+
+def resize_plan(scenario: str, duration: float,
+                num_shards: int) -> FaultPlan:
+    """Handcrafted plan for one resize chaos scenario.
+
+    Every scenario grows the cell by one task at 25% of the window and
+    shrinks back at 65%; the antagonist fault (when the scenario has
+    one) lands just after the grow starts, so it hits mid-handoff.
+    ``"pressure"``'s antagonist is not a plan event — it is the
+    eviction-pressure writer :func:`run_soak` runs alongside.
+    """
+    if scenario not in RESIZE_SCENARIOS:
+        raise CliqueMapError(
+            f"unknown resize scenario {scenario!r}; choose from "
+            f"{', '.join(RESIZE_SCENARIOS)}")
+    plan = FaultPlan()
+    grow_at = 0.25 * duration
+    plan.add(grow_at, "resize", action="grow", count=1)
+    plan.add(0.65 * duration, "resize", action="shrink", count=1)
+    if scenario == "partition":
+        # Cut client_hosts[3] off from quorum-many backends (2 of R=3)
+        # across the heart of the handoff. Under ``observe`` that index
+        # is the first prober (writers, reader, then probers), so the
+        # availability burn alert fires and resolves; without the plane
+        # it wraps around to a writer, whose SETs must ride retries.
+        plan.add(grow_at + 0.01 * duration, "partition", client=3, shard=0)
+        plan.add(grow_at + 0.01 * duration, "partition", client=3, shard=1)
+        plan.add(grow_at + 0.25 * duration, "heal")
+        plan.add(grow_at + 0.25 * duration, "heal")
+    elif scenario == "gray":
+        plan.add(grow_at + 0.01 * duration, "gray",
+                 duration=0.2 * duration, shard=1, loss_probability=0.25)
+    elif scenario == "target_crash":
+        # The first joiner a grow creates on a fresh cell is
+        # deterministically named backend-<num_shards>.
+        plan.add(grow_at + 0.005 * duration, "crash_task",
+                 task=f"backend-{num_shards}",
+                 restart_delay=0.02 * duration)
+    plan.add(duration, "heal_all")
+    return plan
 
 
 @dataclass
@@ -88,6 +143,19 @@ class SoakConfig:
     sor_throughput: Optional[object] = None      # ProvisionedThroughput
     sor_cold_keys: int = 64
     sor_backfill: bool = False
+    # Resize chaos (opt-in; defaults leave existing seeded soaks
+    # untouched). ``resize`` names a scenario from RESIZE_SCENARIOS and
+    # replaces the generated plan with :func:`resize_plan` (unless an
+    # explicit ``plan`` is given). ``resize_config`` shapes the handoff;
+    # ``backend_config`` reaches the cell spec (the "pressure" scenario
+    # shrinks ``data_virtual_limit`` through it so eviction churns
+    # during the handoff). The pressure writer hammers a disjoint
+    # ``pressure-%05d`` keyspace with padded values.
+    resize: Optional[str] = None
+    resize_config: Optional[ResizeConfig] = None
+    backend_config: Optional[BackendConfig] = None
+    pressure_keys: int = 128
+    pressure_value_bytes: int = 512
 
 
 @dataclass
@@ -112,6 +180,14 @@ class SoakReport:
     # Populated when the soak ran with config.sor: the coordinator's
     # stat counters, SoR-side totals, and the cold-keyspace read tally.
     sor_stats: Optional[dict] = None
+    # Foreground-impact accounting, always populated: terminal SET
+    # failures seen by the writers (and the pressure writer, when one
+    # ran), plus the reader's terminal errors and inquorate retries —
+    # the counters a fault-free resize must keep at zero.
+    foreground: Optional[dict] = None
+    # Populated when config.resize named a scenario: the resize
+    # controller's counters plus the dual-write/backfill metric totals.
+    resize_stats: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -145,9 +221,11 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
     cell = Cell(CellSpec(
         mode=ReplicationMode.R3_2, num_shards=config.num_shards,
         transport=config.transport,
+        backend_config=config.backend_config or BackendConfig(),
         repair_config=RepairConfig(
             enabled=True, scan_interval=config.repair_scan_interval),
-        maintenance_config=MaintenanceConfig()))
+        maintenance_config=MaintenanceConfig(),
+        resize_config=config.resize_config or ResizeConfig()))
     sim = cell.sim
     sor = None
     coordinator = None
@@ -173,6 +251,8 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
     written = {i: set() for i in range(keys)}   # all values ever written
     last_applied: Dict[int, bytes] = {}          # key -> last acked value
     bad_hits: List[Tuple[int, bytes]] = []
+    foreground = {"writer_set_failures": 0, "pressure_set_failures": 0,
+                  "reader_errors": 0, "reader_inquorate": 0}
     done = [False]
 
     def key_name(i):
@@ -201,6 +281,8 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
             result = yield from client.set(key_name(i), value)
             if result.status is SetStatus.APPLIED:
                 last_applied[i] = value
+            else:
+                foreground["writer_set_failures"] += 1
             yield sim.timeout(rand.uniform(1e-3, 5e-3))
 
     def reader_loop(rand):
@@ -233,6 +315,28 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
                 sor_counts["errors"] += 1
             yield sim.timeout(rand.uniform(1e-3, 4e-3))
 
+    # Eviction pressure (config.resize == "pressure"): a dedicated
+    # writer hammers a disjoint padded keyspace so the cache churns
+    # evictions while the handoff copies entries. Pair with a small
+    # ``backend_config.data_virtual_limit`` to actually hit the limit.
+    pressure_client = cell.connect_client() \
+        if config.resize == "pressure" else None
+    pressure_counts = {"writes": 0, "failed": 0}
+
+    def pressure_loop(rand):
+        pad = b"p" * config.pressure_value_bytes
+        generation = 0
+        while not done[0]:
+            i = rand.randint(0, config.pressure_keys - 1)
+            generation += 1
+            result = yield from pressure_client.set(
+                b"pressure-%05d" % i, pad + b"-%d" % generation)
+            pressure_counts["writes"] += 1
+            if result.status is not SetStatus.APPLIED:
+                pressure_counts["failed"] += 1
+                foreground["pressure_set_failures"] += 1
+            yield sim.timeout(rand.uniform(0.5e-3, 2e-3))
+
     def backfill_loop():
         # A warming storm: sweep the whole cold keyspace through the
         # backfill class over and over. Admission control is what keeps
@@ -242,15 +346,23 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
             yield from coordinator.warm(cold, concurrency=8)
             yield sim.timeout(0.02)
 
-    plan = config.plan if config.plan is not None else FaultPlan.generate(
-        stream.child("plan"), duration=config.duration,
-        num_shards=config.num_shards, num_clients=len(clients),
-        mean_interval=config.mean_fault_interval, kinds=config.kinds)
+    plan = config.plan
+    if plan is None and config.resize is not None:
+        plan = resize_plan(config.resize, config.duration,
+                           config.num_shards)
+    if plan is None:
+        plan = FaultPlan.generate(
+            stream.child("plan"), duration=config.duration,
+            num_shards=config.num_shards, num_clients=len(clients),
+            mean_interval=config.mean_fault_interval, kinds=config.kinds)
     # Workload clients first (generated plans only index those), then
-    # prober hosts so handcrafted plans can partition a prober.
+    # prober hosts so handcrafted plans can partition a prober, then the
+    # pressure writer (keeping prober indices stable across scenarios).
     fault_targets = [c.host for c in clients]
     if plane is not None:
         fault_targets.extend(p.client.host for p in plane.probers)
+    if pressure_client is not None:
+        fault_targets.append(pressure_client.host)
     injector = FaultInjector(cell, plan, client_hosts=fault_targets)
 
     procs = [
@@ -259,6 +371,8 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
         for tag in range(len(writers))
     ]
     procs.append(sim.process(reader_loop(stream.child("r"))))
+    if pressure_client is not None:
+        procs.append(sim.process(pressure_loop(stream.child("pressure"))))
     if config.sor:
         procs.append(sim.process(cold_reader_loop(stream.child("cold"))))
         if config.sor_backfill:
@@ -267,16 +381,27 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
     sim.run(until=chaos)
     done[0] = True
     sim.run(until=sim.all_of(procs))
+    # Snapshot the reader's terminal counters before the settle-phase
+    # verification sweep adds its own (healed-network) reads.
+    foreground["reader_errors"] = reader.stats["get_errors"]
+    foreground["reader_inquorate"] = reader.stats["inquorate"]
 
     # Let repairs settle, then verify full recovery.
     sim.run(until=sim.now + config.settle)
+
+    # Under genuine eviction pressure a MISS is legitimate cache
+    # behavior, not a lost write — the full-recovery invariant only
+    # demands a HIT when nothing was ever evicted for capacity.
+    evicted = sum(b.stats.evictions_capacity + b.stats.evictions_associativity
+                  for b in cell.backends.values())
 
     def verify():
         mismatches = []
         for i in range(keys):
             result = yield from reader.get(key_name(i), deadline=0.5)
             if result.status is not GetStatus.HIT:
-                mismatches.append((i, result.status, None))
+                if not (result.status is GetStatus.MISS and evicted):
+                    mismatches.append((i, result.status, None))
             elif result.value != last_applied[i] and \
                     result.value not in written[i]:
                 mismatches.append((i, result.status, result.value))
@@ -321,6 +446,20 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
         sli=plane.sli_summary() if plane is not None else None,
         timeseries=plane.scraper.to_dict() if plane is not None else None,
         exports=exports,
+        foreground=dict(foreground),
+        resize_stats=None if config.resize is None else {
+            "controller": vars(cell.resize.stats).copy(),
+            "resize_events": cell.metrics.total(
+                "cliquemap_resize_events_total"),
+            "backfill_entries": cell.metrics.total(
+                "cliquemap_resize_backfill_entries_total"),
+            "shadow_writes": cell.metrics.total(
+                "cliquemap_shadow_writes_total"),
+            "migration_rpc_errors": cell.metrics.total(
+                "cliquemap_migration_rpc_errors_total"),
+            "pressure": dict(pressure_counts)
+            if pressure_client is not None else None,
+        },
         sor_stats=None if coordinator is None else {
             "coordinator": dict(coordinator.stats),
             "coalescing_ratio": coordinator.coalescing_ratio(),

@@ -12,14 +12,19 @@ plane on top of :mod:`repro.telemetry`:
 * :mod:`repro.observe.plane` — the assembly: scraper + probers + SLO
   engine, attached to a :class:`~repro.core.cell.Cell` via
   ``cell.observe()``.
+* :mod:`repro.observe.autoscale` — the SLO-driven autoscaler closing
+  the loop from burn-rate alerts and per-backend load series to online
+  cell resize (``plane.autoscale()``).
 """
 
+from .autoscale import Autoscaler, AutoscalerConfig, AutoscalerStats
 from .plane import ObservabilityPlane, ObserveConfig
 from .prober import Prober, ProberConfig
 from .slo import (AlertEvent, BurnWindow, MetricTerm, SloEngine,
                   SloObjective, default_objectives)
 
 __all__ = [
+    "Autoscaler", "AutoscalerConfig", "AutoscalerStats",
     "ObservabilityPlane", "ObserveConfig",
     "Prober", "ProberConfig",
     "AlertEvent", "BurnWindow", "MetricTerm", "SloEngine", "SloObjective",

@@ -82,6 +82,9 @@ class ObservabilityPlane:
                 fire_factor=cfg.alert_burn_factor)
         self.engine = SloEngine(self.scraper, objectives,
                                 registry=cell.metrics)
+        # Attached lazily by autoscale(); None keeps the control loop
+        # entirely out of plain observability runs.
+        self.autoscaler = None
         self.started = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -104,9 +107,21 @@ class ObservabilityPlane:
         if not self.started:
             return
         self.started = False
+        if self.autoscaler is not None:
+            self.autoscaler.stop()
         for prober in self.probers:
             prober.stop()
         self.scraper.uninstall()
+
+    def autoscale(self, config=None):
+        """Attach (and start) the SLO-driven autoscaler — the closed
+        loop from this plane's alerts and load series to online cell
+        resize. Idempotent; returns the
+        :class:`~repro.observe.autoscale.Autoscaler`."""
+        if self.autoscaler is None:
+            from .autoscale import Autoscaler
+            self.autoscaler = Autoscaler(self, config).start()
+        return self.autoscaler
 
     # -- readbacks / exports -------------------------------------------------
 

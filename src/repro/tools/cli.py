@@ -207,11 +207,20 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         # Opt-in: draw SoR brownouts alongside the usual fault kinds and
         # run the cold-keyspace + backfill herd against the miss path.
         kinds = kinds + ("sor_brownout",)
+    backend_config = None
+    if args.resize == "pressure":
+        # Shrink the data arena so the pressure writer actually forces
+        # capacity evictions mid-handoff.
+        from ..core import BackendConfig
+        backend_config = BackendConfig(data_initial_bytes=256 * 1024,
+                                       data_virtual_limit=256 * 1024)
     report = run_soak(SoakConfig(
         seed=args.seed, duration=args.duration, settle=args.settle,
         num_shards=args.shards, num_keys=args.keys,
         transport=args.transport, kinds=kinds,
-        sor=args.sor, sor_backfill=args.sor))
+        sor=args.sor, sor_backfill=args.sor,
+        resize=args.resize, backend_config=backend_config,
+        pressure_value_bytes=2048))
     print(render_table(f"fault plan (seed={args.seed})", ["event"],
                        [[line] for line in report.plan_lines]))
     print()
@@ -231,6 +240,26 @@ def cmd_chaos(args: argparse.Namespace) -> int:
              ["SoR throttled", f"{stats['sor_throttled']}"],
              ["cold-key bad hits",
               f"{stats['cold_reads']['bad_hits']}"]]))
+        print()
+    if report.resize_stats is not None:
+        ctl = report.resize_stats["controller"]
+        rows = [["grows", f"{ctl['grows']}"],
+                ["shrinks", f"{ctl['shrinks']}"],
+                ["aborted", f"{ctl['aborted']}"],
+                ["backfill sweeps", f"{ctl['sweeps']}"],
+                ["entries backfilled", f"{ctl['entries_backfilled']}"],
+                ["entries purged", f"{ctl['entries_purged']}"],
+                ["shadow writes",
+                 f"{report.resize_stats['shadow_writes']:g}"],
+                ["writer SET failures",
+                 f"{report.foreground['writer_set_failures']}"],
+                ["reader inquorate retries",
+                 f"{report.foreground['reader_inquorate']}"]]
+        if report.resize_stats["pressure"] is not None:
+            rows.append(["pressure writes",
+                         f"{report.resize_stats['pressure']['writes']}"])
+        print(render_table(f"resize ({args.resize})", ["stat", "value"],
+                           rows))
         print()
     if report.ok:
         print("invariants hold: no bad hits, all keys recovered, "
@@ -274,6 +303,13 @@ def cmd_observe(args: argparse.Namespace) -> int:
         # budget should shed load so foreground SLOs stay green.
         plan.add(args.fault_at, "sor_brownout", factor=0.1,
                  duration=args.fault_duration)
+    elif args.fault == "resize":
+        # Online grow then shrink under the probed workload: the
+        # handoff must stay invisible to the SLO plane (pair with
+        # --assert-no-alerts in CI).
+        plan.add(args.fault_at, "resize", action="grow", count=1)
+        plan.add(args.fault_at + args.fault_duration, "resize",
+                 action="shrink", count=1)
     plan.add(args.duration, "heal_all")
 
     with_sor = args.fault == "sor-brownout"
@@ -281,7 +317,8 @@ def cmd_observe(args: argparse.Namespace) -> int:
         seed=args.seed, duration=args.duration, settle=args.settle,
         num_shards=args.shards, transport=args.transport,
         observe=True, plan=plan, export_dir=args.out_dir,
-        sor=with_sor, sor_backfill=with_sor))
+        sor=with_sor, sor_backfill=with_sor,
+        resize="cycle" if args.fault == "resize" else None))
 
     probe_series = [s for s in report.timeseries["series"]
                     if s["name"].startswith("cliquemap_probe_ops_total")]
@@ -305,6 +342,22 @@ def cmd_observe(args: argparse.Namespace) -> int:
              ["SoR throttled", f"{stats['sor_throttled']}"],
              ["cold-key hits", f"{stats['cold_reads']['hits']}"],
              ["cold-key bad hits", f"{stats['cold_reads']['bad_hits']}"]]))
+    if report.resize_stats is not None:
+        from ..analysis import render_table
+        ctl = report.resize_stats["controller"]
+        print()
+        print(render_table(
+            "resize under observation", ["stat", "value"],
+            [["grows", f"{ctl['grows']}"],
+             ["shrinks", f"{ctl['shrinks']}"],
+             ["aborted", f"{ctl['aborted']}"],
+             ["entries backfilled", f"{ctl['entries_backfilled']}"],
+             ["shadow writes",
+              f"{report.resize_stats['shadow_writes']:g}"],
+             ["writer SET failures",
+              f"{report.foreground['writer_set_failures']}"],
+             ["reader inquorate retries",
+              f"{report.foreground['reader_inquorate']}"]]))
     for path in report.exports:
         print(f"wrote {path}")
 
@@ -441,6 +494,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sor", action="store_true",
                    help="attach a system of record, draw SoR brownouts, "
                         "and run the cold-keyspace/backfill herd")
+    p.add_argument("--resize", default=None,
+                   choices=["cycle", "partition", "gray", "target_crash",
+                            "pressure"],
+                   help="run a resize chaos scenario (online grow+shrink "
+                        "under traffic) instead of the seeded random plan")
     p.add_argument("--transport", default="pony",
                    choices=["pony", "1rma", "rdma"])
     p.set_defaults(func=cmd_chaos)
@@ -458,10 +516,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["pony", "1rma", "rdma"])
     p.add_argument("--fault", default="none",
                    choices=["none", "partition", "gray-loss", "gray-slow",
-                            "sor-brownout"],
+                            "sor-brownout", "resize"],
                    help="inject one fault against the prober/cell "
                         "(sor-brownout attaches a system of record and "
-                        "runs the thundering-herd/backfill scenario)")
+                        "runs the thundering-herd/backfill scenario; "
+                        "resize drives an online grow+shrink cycle)")
     p.add_argument("--fault-at", type=float, default=0.8,
                    help="fault injection time (simulated seconds)")
     p.add_argument("--fault-duration", type=float, default=0.6)

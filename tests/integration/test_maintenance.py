@@ -116,6 +116,7 @@ def test_mutations_work_during_migration():
 
 
 def test_no_spare_raises():
+    from repro.core import CliqueMapError
     cell = build(num_spares=0)
 
     def app():
@@ -124,7 +125,13 @@ def test_no_spare_raises():
     proc = cell.sim.process(app())
     proc.defused = True
     cell.sim.run()
-    assert isinstance(proc.value, RuntimeError)
+    # A CliqueMapError (the library's error type), not a bare
+    # RuntimeError, so callers can catch the library's exceptions
+    # uniformly.
+    assert isinstance(proc.value, CliqueMapError)
+    assert "no warm spare" in str(proc.value)
+    # The failed cycle must not leave the topology lock held.
+    assert cell.topology_lock.count == 0
 
 
 def test_spare_pool_is_reusable():

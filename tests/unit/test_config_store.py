@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.config import (CellConfig, ConfigStore, LookupStrategy,
                                ReplicationMode)
+from repro.core.errors import CliqueMapError, ConfigCasError
 from repro.sim import Simulator
 
 
@@ -83,6 +84,43 @@ def test_update_bumps_generation():
     assert updated.config_id == before + 1
     assert updated.shard_tasks[1] == "s0"
     assert store.peek("cell").spare_roles == {"s0": 1}
+
+
+def test_update_cas_applies_on_matching_generation():
+    sim = Simulator()
+    store = ConfigStore(sim)
+    store.publish(make_config())
+    expected = store.peek("cell").config_id
+
+    def repoint(config):
+        config.shard_tasks[2] = "s0"
+
+    updated = store.update("cell", repoint, expected_config_id=expected)
+    assert updated.config_id == expected + 1
+    assert updated.shard_tasks[2] == "s0"
+
+
+def test_update_cas_mismatch_raises_without_applying():
+    sim = Simulator()
+    store = ConfigStore(sim)
+    store.publish(make_config())
+    stale = store.peek("cell").config_id
+    store.update("cell", lambda config: None)   # someone else bumps first
+
+    def repoint(config):
+        config.shard_tasks[2] = "s0"
+
+    with pytest.raises(ConfigCasError):
+        store.update("cell", repoint, expected_config_id=stale)
+    # The losing mutate never touched the stored config, and the
+    # generation did not advance a second time.
+    current = store.peek("cell")
+    assert current.shard_tasks == ["b0", "b1", "b2"]
+    assert current.config_id == stale + 1
+
+
+def test_config_cas_error_is_a_cliquemap_error():
+    assert issubclass(ConfigCasError, CliqueMapError)
 
 
 def test_lookup_strategy_members():
