@@ -6,12 +6,14 @@ from .perf import (compare_kernel_stress, profile_hotspots,
                    render_multiget_table, run_kernel_stress,
                    run_multiget_benchmark, run_scale_workload,
                    write_bench_json)
+from .population import (PERCENTILES, compare_population,
+                         run_population_arm)
 from .reporting import (render_alerts, render_metrics,
                         render_percentile_lines, render_series,
                         render_sli, render_table, render_timeseries,
                         sparkline)
 from .stats import (CounterSeries, LatencyRecorder, TimeSeries, cdf_points,
-                    cpu_ns_per_op, cpu_us_per_op)
+                    cpu_ns_per_op, cpu_us_per_op, ks_distance)
 
 __all__ = [
     "BackendSnapshot", "CellSnapshot", "ClientSnapshot", "snapshot_cell",
@@ -19,8 +21,9 @@ __all__ = [
     "render_table", "render_alerts", "render_sli", "render_timeseries",
     "sparkline",
     "CounterSeries", "LatencyRecorder", "TimeSeries", "cdf_points",
-    "cpu_ns_per_op", "cpu_us_per_op",
+    "cpu_ns_per_op", "cpu_us_per_op", "ks_distance",
     "run_multiget_benchmark", "render_multiget_table", "write_bench_json",
     "run_kernel_stress", "compare_kernel_stress", "run_scale_workload",
     "profile_hotspots",
+    "PERCENTILES", "run_population_arm", "compare_population",
 ]

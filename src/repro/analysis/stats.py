@@ -44,6 +44,10 @@ class LatencyRecorder:
     def percentiles(self, ps: Sequence[float]) -> Dict[float, float]:
         return {p: self.percentile(p) for p in ps}
 
+    def samples(self) -> List[float]:
+        """A copy of the raw samples, in recording order."""
+        return list(self._samples)
+
     def mean(self) -> float:
         """Arithmetic mean; ``nan`` when no samples are recorded.
 
@@ -124,6 +128,30 @@ def cdf_points(samples: Sequence[float],
     if out[-1][1] != 1.0:
         out.append((ordered[-1], 1.0))
     return out
+
+
+def ks_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic: sup |F_a(x) - F_b(x)|.
+
+    The statistic alone (no p-value machinery) — the population
+    validation harness compares fixed-seed runs against a tolerance, so
+    a distribution-free distance in [0, 1] is exactly what's needed.
+    """
+    if not a or not b:
+        raise ValueError("ks_distance needs samples on both sides")
+    xs, ys = sorted(a), sorted(b)
+    na, nb = len(xs), len(ys)
+    i = j = 0
+    distance = 0.0
+    while i < na and j < nb:
+        if xs[i] <= ys[j]:
+            i += 1
+        else:
+            j += 1
+        gap = abs(i / na - j / nb)
+        if gap > distance:
+            distance = gap
+    return distance
 
 
 def cpu_us_per_op(cpu_seconds: float, ops: int) -> float:

@@ -44,6 +44,7 @@ _REACTION_FAMILIES = (
     "cliquemap_fabric_slowed_total",
     "cliquemap_retries_total",
     "cliquemap_retries_shed_total",
+    "cliquemap_loadgen_shed_total",
     "cliquemap_backend_quarantine_total",
     "cliquemap_maintenance_events_total",
     # Miss-pipeline families (0 when no SoR is attached).
@@ -156,6 +157,16 @@ class SoakConfig:
     backend_config: Optional[BackendConfig] = None
     pressure_keys: int = 128
     pressure_value_bytes: int = 512
+    # Aggregate client population (opt-in; 0 leaves existing seeded
+    # soaks byte-identical). ``population`` models that many clients
+    # issuing zipf GETs over the chaos keyspace via Poisson
+    # superposition on ``population_drivers`` real driver clients
+    # (see repro.workloads.population); offered/shed/thinned accounting
+    # lands in the report's population_stats.
+    population: int = 0
+    population_rate: float = 40.0        # offered GETs/s per modeled client
+    population_drivers: int = 2
+    population_sample_rate: float = 1.0
 
 
 @dataclass
@@ -188,6 +199,9 @@ class SoakReport:
     # Populated when config.resize named a scenario: the resize
     # controller's counters plus the dual-write/backfill metric totals.
     resize_stats: Optional[dict] = None
+    # Populated when config.population > 0: the aggregate population's
+    # offered/delivered/shed/thinned accounting and hit rate.
+    population_stats: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -363,6 +377,27 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
         fault_targets.extend(p.client.host for p in plane.probers)
     if pressure_client is not None:
         fault_targets.append(pressure_client.host)
+
+    # Aggregate client population (config.population): N modeled
+    # clients' zipf GET traffic over the chaos keyspace, superposed onto
+    # a small driver pool. Reads only — the invariant checkers above
+    # stay the sole writers/arbiters. Set up *after* the plan is drawn
+    # (stream.child consumes parent state) so enabling a population
+    # never changes the seeded fault schedule; its driver hosts go last
+    # in fault_targets so handcrafted plans keep their prober/pressure
+    # indices while large populations still take partition faults
+    # through their (few) drivers.
+    population_gen = None
+    if config.population > 0:
+        from ..workloads import KeySpace, LoadGenerator, WorkloadMetrics
+        pop_drivers = [cell.connect_client() for _ in range(
+            max(1, min(config.population_drivers, config.population)))]
+        pop_keyspace = KeySpace(stream.child("population-keys"), keys,
+                                prefix=b"chaos-key")
+        population_gen = LoadGenerator(
+            sim, pop_drivers, pop_keyspace,
+            stream.child("population-load"), WorkloadMetrics())
+        fault_targets.extend(c.host for c in pop_drivers)
     injector = FaultInjector(cell, plan, client_hosts=fault_targets)
 
     procs = [
@@ -377,6 +412,10 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
         procs.append(sim.process(cold_reader_loop(stream.child("cold"))))
         if config.sor_backfill:
             procs.append(sim.process(backfill_loop()))
+    if population_gen is not None:
+        procs.extend(population_gen.start_population_gets(
+            config.population, config.population_rate, config.duration,
+            op_sample_rate=config.population_sample_rate))
     chaos = sim.process(injector.run())
     sim.run(until=chaos)
     done[0] = True
@@ -459,6 +498,20 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
                 "cliquemap_migration_rpc_errors_total"),
             "pressure": dict(pressure_counts)
             if pressure_client is not None else None,
+        },
+        population_stats=None if population_gen is None else {
+            "modeled_clients": config.population,
+            "drivers": len(population_gen.clients),
+            "rate_per_client": config.population_rate,
+            "op_sample_rate": config.population_sample_rate,
+            "offered": population_gen.metrics.offered,
+            "shed": population_gen.metrics.shed,
+            "thinned": population_gen.metrics.thinned,
+            "delivered": population_gen.metrics.gets,
+            "hits": population_gen.metrics.hits,
+            "hit_rate": population_gen.metrics.hit_rate,
+            "errors": population_gen.metrics.get_errors,
+            "shed_rate": population_gen.metrics.shed_rate,
         },
         sor_stats=None if coordinator is None else {
             "coordinator": dict(coordinator.stats),

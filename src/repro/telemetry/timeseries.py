@@ -45,10 +45,13 @@ class TimeSeries:
     """One scraped stream: ``(metric name, label set, field)`` over time.
 
     Points are ``(sim_time, value)`` pairs in strictly increasing time
-    order, ring-buffered to the scraper's retention.
+    order, ring-buffered to the scraper's retention. A parallel deque of
+    timestamps is maintained on append/eviction so :meth:`value_at` can
+    bisect directly — rebuilding a timestamp list per read would make
+    ``increase``/``rate`` O(n) and SLO evaluation quadratic over a run.
     """
 
-    __slots__ = ("name", "field", "labels", "kind", "points")
+    __slots__ = ("name", "field", "labels", "kind", "points", "_times")
 
     def __init__(self, name: str, field: str, labels: Dict[str, str],
                  kind: str, maxlen: Optional[int]):
@@ -57,17 +60,27 @@ class TimeSeries:
         self.labels = labels
         self.kind = kind
         self.points: Deque[Point] = deque(maxlen=maxlen)
+        self._times: Deque[float] = deque(maxlen=maxlen)
 
     def append(self, t: float, value: float) -> None:
+        # Both deques share one maxlen, so ring-buffer eviction keeps
+        # them aligned without explicit bookkeeping.
         self.points.append((t, value))
+        self._times.append(t)
+
+    def evict_before(self, horizon: float) -> None:
+        """Drop points older than ``horizon`` (retention_seconds)."""
+        pts, times = self.points, self._times
+        while times and times[0] < horizon:
+            times.popleft()
+            pts.popleft()
 
     def latest(self) -> Optional[Point]:
         return self.points[-1] if self.points else None
 
     def value_at(self, t: float) -> Optional[float]:
         """Step-function read: the last sample at or before ``t``."""
-        times = [p[0] for p in self.points]
-        i = bisect_right(times, t)
+        i = bisect_right(self._times, t)
         if i == 0:
             return None
         return self.points[i - 1][1]
@@ -195,9 +208,7 @@ class Scraper:
         if self.retention_seconds is not None:
             horizon = t - self.retention_seconds
             for ts in self._series.values():
-                pts = ts.points
-                while pts and pts[0][0] < horizon:
-                    pts.popleft()
+                ts.evict_before(horizon)
         for observer in self._observers:
             observer(t, self)
 

@@ -198,6 +198,31 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_population_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--population", type=int, default=0,
+                   help="superpose an aggregate population of N modeled "
+                        "clients issuing zipf GETs over the chaos keys "
+                        "(0 = off; see repro.workloads.population)")
+    p.add_argument("--population-rate", type=float, default=40.0,
+                   help="offered GETs/s per modeled client")
+    p.add_argument("--population-sample-rate", type=float, default=1.0,
+                   help="fraction of offered ops actually driven "
+                        "(Poisson thinning; counts are scaled back up "
+                        "in reporting)")
+
+
+def _population_rows(stats: dict) -> list:
+    return [["modeled clients", f"{stats['modeled_clients']}"],
+            ["driver processes", f"{stats['drivers']}"],
+            ["offered key-ops", f"{stats['offered']}"],
+            ["delivered", f"{stats['delivered']}"],
+            ["thinned (sampled out)", f"{stats['thinned']}"],
+            ["shed (outstanding cap)", f"{stats['shed']}"],
+            ["shed rate", f"{stats['shed_rate']:.4f}"],
+            ["hit rate", f"{stats['hit_rate']:.4f}"],
+            ["errors", f"{stats['errors']}"]]
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     from ..analysis import render_table
     from ..faults import DEFAULT_KINDS, SoakConfig, run_soak
@@ -220,7 +245,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         transport=args.transport, kinds=kinds,
         sor=args.sor, sor_backfill=args.sor,
         resize=args.resize, backend_config=backend_config,
-        pressure_value_bytes=2048))
+        pressure_value_bytes=2048,
+        population=args.population,
+        population_rate=args.population_rate,
+        population_sample_rate=args.population_sample_rate))
     print(render_table(f"fault plan (seed={args.seed})", ["event"],
                        [[line] for line in report.plan_lines]))
     print()
@@ -260,6 +288,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                          f"{report.resize_stats['pressure']['writes']}"])
         print(render_table(f"resize ({args.resize})", ["stat", "value"],
                            rows))
+        print()
+    if report.population_stats is not None:
+        print(render_table(
+            f"client population (N={args.population})", ["stat", "value"],
+            _population_rows(report.population_stats)))
         print()
     if report.ok:
         print("invariants hold: no bad hits, all keys recovered, "
@@ -318,7 +351,10 @@ def cmd_observe(args: argparse.Namespace) -> int:
         num_shards=args.shards, transport=args.transport,
         observe=True, plan=plan, export_dir=args.out_dir,
         sor=with_sor, sor_backfill=with_sor,
-        resize="cycle" if args.fault == "resize" else None))
+        resize="cycle" if args.fault == "resize" else None,
+        population=args.population,
+        population_rate=args.population_rate,
+        population_sample_rate=args.population_sample_rate))
 
     probe_series = [s for s in report.timeseries["series"]
                     if s["name"].startswith("cliquemap_probe_ops_total")]
@@ -358,6 +394,12 @@ def cmd_observe(args: argparse.Namespace) -> int:
               f"{report.foreground['writer_set_failures']}"],
              ["reader inquorate retries",
               f"{report.foreground['reader_inquorate']}"]]))
+    if report.population_stats is not None:
+        from ..analysis import render_table
+        print()
+        print(render_table(
+            f"client population (N={args.population})", ["stat", "value"],
+            _population_rows(report.population_stats)))
     for path in report.exports:
         print(f"wrote {path}")
 
@@ -501,6 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "under traffic) instead of the seeded random plan")
     p.add_argument("--transport", default="pony",
                    choices=["pony", "1rma", "rdma"])
+    _add_population_args(p)
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("observe",
@@ -532,6 +575,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(e.g. 'availability')")
     p.add_argument("--assert-no-alerts", action="store_true",
                    help="exit non-zero if any alert fired")
+    _add_population_args(p)
     p.set_defaults(func=cmd_observe)
 
     p = sub.add_parser("perf",

@@ -6,6 +6,7 @@ from .distributions import (BatchSizeSampler, ads_batch_sizes,
                             geo_object_sizes)
 from .generators import KeySpace, LoadGenerator, WorkloadMetrics, populate
 from .geo import GeoScenario, GeoWorkload
+from .population import ClientPopulation, PopulationConfig
 from .trace import (ReplayReport, Trace, TraceOp, TraceRecorder,
                     TraceReplayer, synthesize_trace)
 
@@ -13,6 +14,7 @@ __all__ = [
     "AdsScenario", "AdsWorkload", "GeoScenario", "GeoWorkload",
     "BatchSizeSampler", "ads_batch_sizes", "ads_object_sizes",
     "diurnal_rate", "geo_batch_sizes", "geo_object_sizes",
+    "ClientPopulation", "PopulationConfig",
     "KeySpace", "LoadGenerator", "WorkloadMetrics", "populate",
     "ReplayReport", "Trace", "TraceOp", "TraceRecorder", "TraceReplayer",
     "synthesize_trace",

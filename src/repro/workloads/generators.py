@@ -25,15 +25,22 @@ class KeySpace:
     """A fixed corpus of keys with a zipf popularity distribution."""
 
     def __init__(self, stream: RandomStream, num_keys: int,
-                 prefix: bytes = b"key", zipf_s: float = 0.99):
+                 prefix: bytes = b"key", zipf_s: float = 0.99,
+                 cache_ranks: int = 65536):
         self.num_keys = num_keys
         self.prefix = prefix
         self._sampler = ZipfSampler(stream, num_keys, zipf_s)
         # Zipf traffic revisits a small head of the corpus constantly;
-        # cache the encoded key bytes instead of re-rendering per draw.
+        # cache those encoded key bytes instead of re-rendering per
+        # draw. The cache is bounded to the head (``cache_ranks``
+        # entries) — tail keys render on demand, so a 10^7-key
+        # population run never holds every encoded key in memory.
+        self.cache_ranks = min(num_keys, max(0, cache_ranks))
         self._key_cache: dict = {}
 
     def key(self, i: int) -> bytes:
+        if i >= self.cache_ranks:
+            return self.prefix + b"-%d" % i
         cached = self._key_cache.get(i)
         if cached is None:
             cached = self._key_cache[i] = self.prefix + b"-%d" % i
@@ -56,7 +63,12 @@ def populate(client: CliqueMapClient, keyspace: KeySpace, size_dist,
              parallelism: int = 16) -> Generator:
     """Pre-load the corpus; returns the number of keys installed."""
     sim = client.sim
-    keys = keyspace.all_keys()[:count]
+    # Render only the keys being installed: ``all_keys()[:count]`` would
+    # materialize the full corpus (10^6+ keys in population runs) to
+    # keep the first ``count``.
+    limit = keyspace.num_keys if count is None \
+        else min(count, keyspace.num_keys)
+    keys = [keyspace.key(i) for i in range(limit)]
     installed = [0]
 
     def worker(chunk):
@@ -87,6 +99,15 @@ class WorkloadMetrics:
     hits: int = 0
     sets: int = 0
     get_errors: int = 0
+    # Offered-vs-delivered accounting (key-ops). ``offered`` counts every
+    # op an open-loop/population arrival wanted to issue; ``shed`` the
+    # ops dropped at the outstanding cap; ``thinned`` the ops a
+    # population run skipped by op-sampling (statistically delivered,
+    # not driven). Without these, overload makes the offered rate
+    # unmeasurable — sheds used to vanish silently.
+    offered: int = 0
+    shed: int = 0
+    thinned: int = 0
 
     def with_timeline(self, bin_width: float) -> "WorkloadMetrics":
         self.get_timeline = TimeSeries(bin_width, "get-latency")
@@ -96,6 +117,10 @@ class WorkloadMetrics:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.gets if self.gets else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
 
 
 class LoadGenerator:
@@ -111,6 +136,18 @@ class LoadGenerator:
         self.stream = stream
         self.metrics = metrics or WorkloadMetrics()
         self.max_outstanding = max_outstanding_per_client
+        # Sheds land both in WorkloadMetrics and on the cell's registry
+        # (clients share the cell registry), so soaks and the
+        # observability plane see them alongside every other reaction.
+        self._m_shed = clients[0].metrics.counter(
+            "cliquemap_loadgen_shed_total",
+            "Offered ops dropped because a client hit its outstanding "
+            "cap, by generator mode") if clients else None
+
+    def _count_shed(self, ops: int, mode: str) -> None:
+        self.metrics.shed += ops
+        if self._m_shed is not None:
+            self._m_shed.labels(mode=mode).inc(ops)
 
     # -- GET traffic ----------------------------------------------------------
 
@@ -134,8 +171,12 @@ class LoadGenerator:
             batch = batch_sampler.sample() if batch_sampler else 1
             interval = batch / max(now_rate, 1e-9)
             yield self.sim.timeout(stream.expovariate(1.0 / interval))
+            self.metrics.offered += batch
             if outstanding[0] >= self.max_outstanding:
-                continue  # shed load rather than queue unboundedly
+                # Shed rather than queue unboundedly — but count it, or
+                # the offered-vs-delivered gap is unmeasurable.
+                self._count_shed(batch, "open")
+                continue
             outstanding[0] += 1
             proc = self.sim.process(
                 self._one_get_batch(client, batch, outstanding))
@@ -151,6 +192,30 @@ class LoadGenerator:
                 self._record_get(result, batch_latency)
         finally:
             outstanding[0] -= 1
+
+    def start_population_gets(self, num_clients: int, rate_per_client,
+                              duration: float, batch_sampler=None,
+                              op_sample_rate: float = 1.0,
+                              max_outstanding_per_client: Optional[int]
+                              = None) -> List:
+        """Aggregate-population mode: model ``num_clients`` clients on
+        the existing (small) client pool via Poisson superposition.
+
+        Each real client becomes a *driver* for an equal slice of the
+        modeled population. See :mod:`repro.workloads.population` for
+        the model and its fidelity argument; with ``num_clients`` equal
+        to the pool size (one modeled client per driver) the arrival
+        process — and therefore the whole run — is identical to
+        :meth:`start_open_loop_gets` on the same seed.
+        """
+        from .population import ClientPopulation, PopulationConfig
+        population = ClientPopulation(self, PopulationConfig(
+            num_clients=num_clients, rate_per_client=rate_per_client,
+            duration=duration, op_sample_rate=op_sample_rate,
+            max_outstanding_per_client=self.max_outstanding
+            if max_outstanding_per_client is None
+            else max_outstanding_per_client))
+        return population.start(batch_sampler)
 
     def start_closed_loop_gets(self, workers_per_client: int,
                                duration: float,

@@ -57,6 +57,29 @@ def test_different_seeds_draw_different_plans():
     assert a.plan_lines != b.plan_lines
 
 
+def test_soak_population_rides_along_and_defaults_stay_identical():
+    # Population load is opt-in: the default config must run the exact
+    # event sequence it always did, and turning it on must survive the
+    # fault plan with clean accounting.
+    base = run_soak(SoakConfig(seed=5, duration=0.8, settle=1.0))
+    assert base.population_stats is None
+    again = run_soak(SoakConfig(seed=5, duration=0.8, settle=1.0))
+    assert base.plan_lines == again.plan_lines
+    assert base.metric_totals == again.metric_totals
+
+    with_pop = run_soak(SoakConfig(
+        seed=5, duration=0.8, settle=1.0, population=50,
+        population_rate=40.0, population_sample_rate=0.5))
+    assert with_pop.ok
+    stats = with_pop.population_stats
+    assert stats["modeled_clients"] == 50
+    assert stats["offered"] > 0
+    assert stats["offered"] == (stats["shed"] + stats["thinned"] +
+                                stats["delivered"])
+    # The same seeded fault plan fires with or without the population.
+    assert with_pop.plan_lines == base.plan_lines
+
+
 def test_soak_report_renders_fault_and_reaction_tables():
     report = run_soak(SoakConfig(seed=1, duration=0.6, settle=1.0))
     assert report.ok

@@ -195,6 +195,18 @@ def test_keyspace_sampling():
     assert all(k in set(ks.all_keys()) for k in sample)
 
 
+def test_keyspace_key_cache_is_bounded_to_the_head():
+    ks = KeySpace(RandomStream(3, "k"), num_keys=1_000_000, cache_ranks=8)
+    # Tail keys render correctly but never enter the cache.
+    for i in (0, 7, 8, 9, 500_000, 999_999):
+        assert ks.key(i) == b"key-%d" % i
+    for i in (8, 9, 500_000, 999_999):
+        ks.key(i)
+    assert len(ks._key_cache) <= 8
+    # Head keys are cached (same object on repeat renders).
+    assert ks.key(3) is ks.key(3)
+
+
 def test_populate_installs_corpus():
     cell = Cell(CellSpec(mode=ReplicationMode.R3_2, num_shards=3))
     client = cell.connect_client()

@@ -56,6 +56,75 @@ def test_zipf_rejects_empty():
         ZipfSampler(RandomStream(1), n=0)
 
 
+def test_zipf_exact_regime_matches_legacy_list_cdf_seed_for_seed():
+    # The array('d') CDF must reproduce the original list-based CDF bit
+    # for bit: same seed, same draw sequence. The reference below is the
+    # pre-change implementation, inlined verbatim.
+    import bisect
+    import math
+
+    n, s = 1000, 0.99
+    weights = [1.0 / (r + 1) ** s for r in range(n)]
+    total = math.fsum(weights)
+    acc, legacy_cdf = 0.0, []
+    for w in weights:
+        acc += w / total
+        legacy_cdf.append(acc)
+    legacy_cdf[-1] = 1.0
+
+    legacy_stream = RandomStream(17, "parity")
+    sampler = ZipfSampler(RandomStream(17, "parity"), n=n, s=s)
+    legacy = [bisect.bisect_left(legacy_cdf, legacy_stream.random())
+              for _ in range(5000)]
+    assert [sampler.sample() for _ in range(5000)] == legacy
+
+
+def test_zipf_two_level_construction_is_head_bounded():
+    # 10^7 ranks must not build a 10^7-entry CDF: the table stops at the
+    # head split and construction is effectively instant.
+    sampler = ZipfSampler(RandomStream(3, "big"), n=10_000_000, s=0.99)
+    assert len(sampler._cdf) == ZipfSampler.HEAD_RANKS
+    assert 0.0 < sampler._tail_start < 1.0
+
+
+def test_zipf_two_level_matches_exact_distribution():
+    # Same corpus sampled through both regimes (forced via the head
+    # split): band masses must agree. This pins the tail machinery —
+    # inverse-CDF proposal, rejection correction, Euler-Maclaurin tail
+    # mass — against the exact CDF it replaces.
+    n, draws = 50_000, 40_000
+    exact = ZipfSampler(RandomStream(23, "dist"), n=n, s=0.99, head=n)
+    two_level = ZipfSampler(RandomStream(29, "dist2"), n=n, s=0.99,
+                            head=1024)
+    assert len(two_level._cdf) == 1024
+
+    bands = [(0, 1), (1, 10), (10, 1024), (1024, 5000), (5000, n)]
+
+    def band_masses(sampler):
+        counts = [0] * len(bands)
+        for _ in range(draws):
+            r = sampler.sample()
+            assert 0 <= r < n
+            for i, (lo, hi) in enumerate(bands):
+                if lo <= r < hi:
+                    counts[i] += 1
+                    break
+        return [c / draws for c in counts]
+
+    for got, want in zip(band_masses(two_level), band_masses(exact)):
+        assert got == pytest.approx(want, abs=0.01)
+
+
+def test_zipf_two_level_tail_mass_matches_theory():
+    # P(rank >= head) from samples vs the analytic tail share.
+    sampler = ZipfSampler(RandomStream(31, "tail"), n=100_000, s=0.99,
+                          head=4096)
+    draws = 40_000
+    tail = sum(1 for _ in range(draws) if sampler.sample() >= 4096)
+    assert tail / draws == pytest.approx(1.0 - sampler._tail_start,
+                                         abs=0.01)
+
+
 def test_mixture_sizes_respect_bounds():
     stream = RandomStream(9, "sizes")
     dist = MixtureSizeDistribution(

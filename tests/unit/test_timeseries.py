@@ -29,6 +29,39 @@ def test_value_at_is_step_function():
     assert ts.latest() == (3.0, 30.0)
 
 
+def test_value_at_allocation_does_not_scale_with_length():
+    # Regression: value_at used to rebuild a full timestamp list per
+    # read, making every SLO-window evaluation O(n) in allocations. It
+    # must bisect a maintained index instead — allocation per read stays
+    # flat no matter how long the series is.
+    import tracemalloc
+
+    def read_peak(n):
+        ts = _series([(float(i), float(i)) for i in range(n)])
+        tracemalloc.start()
+        ts.value_at(n / 2)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return peak
+
+    small, large = read_peak(100), read_peak(50_000)
+    assert large <= small + 512, (small, large)
+
+
+def test_times_index_survives_ring_buffer_wrap_and_eviction():
+    ts = TimeSeries("m", "value", {}, "counter", maxlen=4)
+    for i in range(10):
+        ts.append(float(i), float(i) * 10)
+    assert [t for t, _ in ts.points] == [6.0, 7.0, 8.0, 9.0]
+    assert ts.value_at(5.9) is None       # wrapped out of the ring
+    assert ts.value_at(7.5) == 70.0
+    ts.evict_before(8.0)                  # retention_seconds path
+    assert ts.value_at(7.5) is None
+    assert ts.value_at(8.0) == 80.0
+    assert ts.value_at(99.0) == 90.0
+    assert list(ts._times) == [t for t, _ in ts.points]
+
+
 def test_increase_missing_baseline_reads_as_zero():
     # Counters start at zero, so a window reaching before the first
     # scrape must count everything seen so far, not return 0.
