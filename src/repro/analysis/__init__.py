@@ -6,6 +6,9 @@ from .perf import (compare_kernel_stress, profile_hotspots,
                    render_multiget_table, run_kernel_stress,
                    run_multiget_benchmark, run_scale_workload,
                    write_bench_json)
+from .parallel import (assert_digest_equivalent, compare_parallel,
+                       digest_mismatches, profile_parallel_hotspots,
+                       run_federation_arm)
 from .population import (PERCENTILES, compare_population,
                          run_population_arm)
 from .reporting import (render_alerts, render_metrics,
@@ -26,4 +29,6 @@ __all__ = [
     "run_kernel_stress", "compare_kernel_stress", "run_scale_workload",
     "profile_hotspots",
     "PERCENTILES", "run_population_arm", "compare_population",
+    "run_federation_arm", "compare_parallel", "digest_mismatches",
+    "assert_digest_equivalent", "profile_parallel_hotspots",
 ]

@@ -76,8 +76,10 @@ class Cell:
     def __init__(self, spec: Optional[CellSpec] = None,
                  sim: Optional[Simulator] = None,
                  fabric: Optional[Fabric] = None,
-                 transport: Optional[Transport] = None):
+                 transport: Optional[Transport] = None,
+                 zone: str = "local"):
         self.spec = spec or CellSpec()
+        self.zone = zone
         self.sim = sim or Simulator()
         self.fabric = fabric or Fabric(self.sim, self.spec.fabric_config)
         self.transport = transport if transport is not None else \
@@ -147,9 +149,26 @@ class Cell:
     # Construction helpers
     # ------------------------------------------------------------------
 
+    def add_local_host(self, name: str,
+                       host_config: Optional[HostConfig] = None,
+                       nic_rate: Optional[float] = None) -> Host:
+        """Add a fabric host placed in this cell's zone.
+
+        Zone-aware host placement for everything a cell owns (backends,
+        loaders, probers, SoR endpoints): when the cell lives in a named
+        zone (federation / sharded runs), the host name is prefixed with
+        the zone so names stay unique across co-resident cells, and the
+        host is placed in that zone so the fabric charges inter-zone
+        latency on WAN crossings.
+        """
+        if self.zone != "local":
+            name = f"{self.zone}/{name}"
+        return self.fabric.add_host(name, host_config, nic_rate,
+                                    zone=self.zone)
+
     def _create_backend(self, task: str, shard: int,
                         placement: Optional[Placement] = None) -> Backend:
-        host = self.fabric.add_host(f"host/{task}", self.spec.host_config)
+        host = self.add_local_host(f"host/{task}", self.spec.host_config)
         backend = Backend(self.sim, host, task, shard,
                           placement if placement is not None
                           else self.placement,
@@ -295,7 +314,7 @@ class Cell:
                     strategy: Optional[GetStrategy] = None,
                     client_config: Optional[ClientConfig] = None,
                     host_config: Optional[HostConfig] = None,
-                    zone: str = "local",
+                    zone: Optional[str] = None,
                     principal: Optional[Principal] = None,
                     read_through: bool = True
                     ) -> CliqueMapClient:
@@ -304,20 +323,26 @@ class Cell:
         ``strategy`` accepts a :class:`GetStrategy` member or its string
         value (``"2xr"``, ``"scar"``, ``"msg"``, ``"rpc"``); anything else
         raises :class:`~repro.core.errors.CliqueMapError` here rather
-        than failing mid-operation. ``zone`` places the client in another
-        datacenter: RMA is not applicable across the WAN, so remote-zone
-        clients default to the RPC lookup strategy (Table 1, row 5).
-        ``read_through=False`` opts this client out of the attached
-        SoR's miss pipeline (internal fill clients use this).
+        than failing mid-operation. ``zone`` places the client in a
+        datacenter; None means this cell's own zone. A client in another
+        zone than the cell is a WAN client: RMA is not applicable across
+        the WAN, so it defaults to the RPC lookup strategy (Table 1,
+        row 5) with WAN-scaled deadlines. ``read_through=False`` opts
+        this client out of the attached SoR's miss pipeline (internal
+        fill clients use this).
         """
         if strategy is not None:
             strategy = GetStrategy.coerce(strategy)
+        if zone is None:
+            zone = self.zone
         if host is None:
             self._client_count += 1
+            name = f"host/client-{self._client_count}"
+            if zone != "local":
+                name = f"{zone}/{name}"
             host = self.fabric.add_host(
-                f"host/client-{self._client_count}",
-                host_config or self.spec.host_config, zone=zone)
-        if zone != "local":
+                name, host_config or self.spec.host_config, zone=zone)
+        if zone != self.zone:
             if strategy is None:
                 strategy = GetStrategy.RPC
             if client_config is None:

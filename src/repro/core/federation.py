@@ -16,6 +16,7 @@ R=3.2 replication underneath).
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional
 
@@ -36,6 +37,22 @@ class FederationSpec:
     fabric_config: FabricConfig = field(default_factory=FabricConfig)
 
 
+def build_zone_cell(zone: str, cell_spec: CellSpec, sim: Simulator,
+                    fabric: Fabric) -> Cell:
+    """Stand up one zone's cell from the federation's template spec.
+
+    The cell is constructed zone-aware (hosts land in ``zone`` with
+    zone-prefixed names) from a deep copy of the template, so every zone
+    gets identical-but-independent backend/repair/maintenance config.
+    Shared by :class:`Federation` (all zones on one fabric) and
+    :class:`~repro.core.parallelfed.ZoneShard` (one zone per shard
+    fabric) so both build bit-identical cells from the same spec.
+    """
+    spec = copy.deepcopy(cell_spec)
+    spec.name = f"{spec.name}-{zone}"
+    return Cell(spec, sim=sim, fabric=fabric, zone=zone)
+
+
 class Federation:
     """Several cells, one per datacenter, over one simulated world."""
 
@@ -44,29 +61,10 @@ class Federation:
         self.sim = Simulator()
         self.fabric = Fabric(self.sim, self.spec.fabric_config)
         self.cells: Dict[str, Cell] = {}
+        self._fed_client_seq = 0
         for zone in self.spec.zones:
-            self.cells[zone] = self._build_cell(zone)
-
-    def _build_cell(self, zone: str) -> Cell:
-        import copy
-        spec = copy.deepcopy(self.spec.cell_spec)
-        spec.name = f"{spec.name}-{zone}"
-        cell = Cell.__new__(Cell)
-        # Cells share the fabric/sim but place their hosts in their zone;
-        # simplest construction: temporarily wrap add_host.
-        original_add_host = self.fabric.add_host
-
-        def zoned_add_host(name, host_config=None, nic_rate=None,
-                           zone_=zone, **kwargs):
-            return original_add_host(f"{zone_}/{name}", host_config,
-                                     nic_rate, zone=zone_)
-
-        self.fabric.add_host = zoned_add_host
-        try:
-            cell.__init__(spec, sim=self.sim, fabric=self.fabric)
-        finally:
-            self.fabric.add_host = original_add_host
-        return cell
+            self.cells[zone] = build_zone_cell(
+                zone, self.spec.cell_spec, self.sim, self.fabric)
 
     def cell(self, zone: str) -> Cell:
         return self.cells[zone]
@@ -75,8 +73,12 @@ class Federation:
                     **kwargs) -> "FederatedClient":
         """A client homed in ``zone``; connect with ``client.connect()``."""
         local = self.cells[zone]
+        # Deterministic host naming (a counter, not id()): sharded runs
+        # compare op digests across processes, so two same-seed builds
+        # must produce byte-identical host names.
+        self._fed_client_seq += 1
         host = self.fabric.add_host(
-            f"{zone}/host/fed-client-{id(object())}", zone=zone)
+            f"{zone}/host/fed-client-{self._fed_client_seq}", zone=zone)
         local_client = local.make_client(host=host, **kwargs)
         remote_clients = {}
         if remote_fallback:

@@ -246,7 +246,7 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
     if config.sor:
         from ..storage import (MissPolicy, ProvisionedThroughput,
                                SystemOfRecord)
-        sor_host = cell.fabric.add_host("host/sor")
+        sor_host = cell.add_local_host("host/sor")
         sor = SystemOfRecord(
             sim, sor_host,
             throughput=config.sor_throughput or ProvisionedThroughput(

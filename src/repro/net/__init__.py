@@ -1,11 +1,13 @@
 """Network substrate: hosts, CPUs, NICs, links, and the datacenter fabric."""
 
-from .fabric import Fabric, FabricConfig, LinkFault, NetworkDropError
+from .fabric import (CrossShardLink, Fabric, FabricConfig, LinkFault,
+                     NetworkDropError)
 from .host import CpuLedger, CStateModel, Host, HostConfig, HostDownError
 from .nic import Link, MtuConfig, Nic, gbps
 
 __all__ = [
-    "Fabric", "FabricConfig", "LinkFault", "NetworkDropError",
+    "CrossShardLink", "Fabric", "FabricConfig", "LinkFault",
+    "NetworkDropError",
     "Host", "HostConfig", "HostDownError", "CpuLedger", "CStateModel",
     "Link", "MtuConfig", "Nic", "gbps",
 ]

@@ -101,6 +101,63 @@ class FabricConfig:
     seed: int = 1
 
 
+class CrossShardLink:
+    """The WAN link between two shards of a sharded simulation.
+
+    When a federation is split one-zone-per-shard
+    (:mod:`repro.core.parallelfed`), cross-zone traffic no longer rides a
+    shared :class:`Fabric` — each side has its own fabric — so this
+    adapter models the inter-datacenter hop instead: a message sent at
+    ``t`` arrives at ``t + min_latency (+ jitter)``. ``min_latency`` is
+    the latency the fabric itself would charge a cross-zone delivery
+    (:attr:`FabricConfig.inter_zone_delay`) and doubles as the
+    conservative lookahead the shard coordinator synchronizes on — the
+    guarantee that no message can arrive sooner than ``min_latency``
+    after it was sent is exactly what lets every shard run
+    ``min_latency`` ahead of its neighbours.
+
+    Arrival times are deterministic in (seed, src, dst, message index):
+    jitter comes from the link's own seeded stream, never a shard's
+    fabric stream, so they are identical whether the shards run
+    sequentially in one process or in parallel workers.
+    """
+
+    def __init__(self, src_zone: str, dst_zone: str,
+                 min_latency: float, jitter: float = 0.0, seed: int = 1):
+        if min_latency <= 0:
+            raise ValueError(
+                f"cross-shard min_latency must be > 0 (it is the "
+                f"conservative lookahead), got {min_latency!r}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter!r}")
+        self.src_zone = src_zone
+        self.dst_zone = dst_zone
+        self.min_latency = min_latency
+        self.jitter = jitter
+        self._rand = RandomStream(seed, f"wan:{src_zone}->{dst_zone}")
+        self.messages = 0
+
+    @classmethod
+    def from_config(cls, config: FabricConfig, src_zone: str,
+                    dst_zone: str) -> "CrossShardLink":
+        """The link a shared-fabric federation would have charged: WAN
+        one-way delay plus the fabric's uniform jitter bound."""
+        return cls(src_zone, dst_zone,
+                   min_latency=config.inter_zone_delay,
+                   jitter=config.delay_jitter, seed=config.seed)
+
+    def arrival(self, send_time: float) -> float:
+        """Arrival time at the destination shard for a message sent now.
+
+        Always ``>= send_time + min_latency`` — the lookahead contract.
+        """
+        self.messages += 1
+        delay = self.min_latency
+        if self.jitter:
+            delay += self._rand.uniform(0.0, self.jitter)
+        return send_time + delay
+
+
 class Fabric:
     """A set of hosts and the links between them."""
 

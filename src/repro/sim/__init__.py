@@ -2,6 +2,8 @@
 
 from .core import (AllOf, AnyOf, Event, Interrupt, Process, SimulationError,
                    Simulator, Timeout)
+from .parallel import (ShardCoordinator, ShardMessage, ShardProgram,
+                       ShardRunReport)
 from .rand import MixtureSizeDistribution, RandomStream, ZipfSampler, percentile
 from .resources import Request, Resource, Store
 
@@ -9,4 +11,5 @@ __all__ = [
     "AllOf", "AnyOf", "Event", "Interrupt", "Process", "SimulationError",
     "Simulator", "Timeout", "Request", "Resource", "Store",
     "RandomStream", "ZipfSampler", "MixtureSizeDistribution", "percentile",
+    "ShardCoordinator", "ShardMessage", "ShardProgram", "ShardRunReport",
 ]

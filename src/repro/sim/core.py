@@ -613,3 +613,60 @@ class Simulator:
         if self._ready:
             return self.now
         return self._heap[0][0] if self._heap else float("inf")
+
+    # -- sharded execution (see repro.sim.parallel) -----------------------
+
+    def run_until(self, horizon: float) -> float:
+        """Run every action due at or before ``horizon``; clock ends there.
+
+        The bounded-window primitive conservative parallel simulation is
+        built on: a shard coordinator advances each shard's kernel in
+        lookahead-sized windows by calling ``run_until`` repeatedly.
+        Actions scheduled exactly at ``horizon`` execute (the window is
+        half-open on the left: ``(prev_horizon, horizon]``), and on
+        return ``now == horizon`` even if the shard went idle earlier,
+        so clock taps fire and every shard leaves the window at the same
+        instant. Returns the new ``now``.
+        """
+        if horizon < self.now:
+            raise SimulationError(
+                f"run_until({horizon!r}) lies in the past "
+                f"(now={self.now!r})")
+        self.run(until=horizon)
+        return self.now
+
+    def lower_bound(self) -> float:
+        """Lower-bound timestamp (LBTS) of this kernel.
+
+        No not-yet-executed local action can run earlier than this time,
+        so no locally-generated message can carry an earlier send time.
+        A neighbour shard with lookahead ``L`` on the connecting link may
+        therefore safely advance to ``lower_bound() + L``. Identical to
+        :meth:`peek`; named separately so the synchronization protocol
+        reads as what it is.
+        """
+        if self._ready:
+            return self.now
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def inject(self, at: float, fn: Callable, *args: Any) -> None:
+        """Schedule ``fn(*args)`` at the absolute simulated time ``at``.
+
+        The externally-sourced-event path: cross-shard deliveries enter
+        the kernel here, between windows, with their original arrival
+        timestamp. The entry takes the next sequence number at injection
+        time, so a deterministic injection order — the coordinator sorts
+        deliveries by ``(time, shard_id, seq)`` — yields a deterministic
+        ``(time, seq)`` total order against local events. ``at`` must
+        not lie in the shard's past; the conservative lookahead protocol
+        guarantees arrivals never do, and this guard turns any protocol
+        violation into a loud error instead of silent time travel.
+        """
+        if at < self.now:
+            raise SimulationError(
+                f"cannot inject at {at!r}, in the past (now={self.now!r})")
+        self._seq += 1
+        if at == self.now:
+            self._ready.append((self._seq, fn, args))
+        else:
+            heapq.heappush(self._heap, (at, self._seq, fn, args))

@@ -38,7 +38,7 @@ class CorpusLoader:
         self.batch_size = batch_size
         self.rpc_deadline = rpc_deadline
         self.versions = VersionFactory(LOADER_CLIENT_ID, TrueTime(self.sim))
-        host = cell.fabric.add_host(f"host/loader-{sor.name}")
+        host = cell.add_local_host(f"host/loader-{sor.name}")
         self._sor_channel = rpc_connect(
             self.sim, cell.fabric, host, sor.rpc_server, Principal("loader"))
         self._backend_channels: Dict[str, object] = {}

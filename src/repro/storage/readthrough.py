@@ -63,7 +63,7 @@ class ReadThroughCoordinator:
         self.metrics = cell.metrics
         self._closed = False
         principal = Principal(f"sor@{cell.spec.name}")
-        self.host = cell.fabric.add_host(
+        self.host = cell.add_local_host(
             f"host/sor-coordinator-{cell.spec.name}")
         self.channel = rpc_connect(cell.sim, cell.fabric, self.host,
                                    sor.rpc_server, principal)

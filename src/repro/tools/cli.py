@@ -444,6 +444,16 @@ def cmd_perf(args: argparse.Namespace) -> int:
 def cmd_perf_profile(args: argparse.Namespace) -> int:
     from ..analysis import profile_hotspots
 
+    if args.parallel:
+        # Sharded run: every worker profiles its own shard; the per-shard
+        # cProfile dumps are aggregated into one top-N table so hotspot
+        # analysis reads the same as a single-process profile.
+        from ..analysis import profile_parallel_hotspots
+        zones = [f"dc-{chr(ord('a') + i)}" for i in range(args.zones)]
+        profile_parallel_hotspots(zones=zones, top=args.top,
+                                  sort=args.sort,
+                                  duration=args.parallel_duration)
+        return 0
     result = profile_hotspots(top=args.top, transport=args.transport,
                               num_hosts=args.hosts, ops=args.ops,
                               seed=args.seed, sort=args.sort)
@@ -604,6 +614,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="profile mode: cell size for the workload")
     p.add_argument("--ops", type=int, default=2000,
                    help="profile mode: ops to drive under the profiler")
+    p.add_argument("--parallel", action="store_true",
+                   help="profile mode: profile a sharded (one worker "
+                        "process per zone) federation instead; per-shard "
+                        "cProfile output is aggregated into one table")
+    p.add_argument("--zones", type=int, default=4,
+                   help="profile mode with --parallel: number of zones")
+    p.add_argument("--parallel-duration", type=float, default=0.2,
+                   help="profile mode with --parallel: simulated seconds "
+                        "of federated workload to profile")
     p.set_defaults(func=cmd_perf)
 
     p = sub.add_parser("model-check",

@@ -1,0 +1,121 @@
+"""Determinism + equivalence of the sharded parallel federation.
+
+Three claims, from strongest to weakest (see ARCHITECTURE §13):
+
+1. a parallel (multiprocess) sharded run is bit-identical to the
+   sequential (one-process) run of the same sharded model, same seed;
+2. same-seed parallel runs are bit-identical to each other;
+3. a 1-zone sharded run is bit-identical to the plain single-event-loop
+   Federation — the sharded model is the *same model*, not a look-alike;
+   multi-zone plain runs are compared semantically (timing models for
+   the WAN hop legitimately differ).
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.analysis import (compare_parallel, digest_mismatches,
+                            run_federation_arm)
+from repro.core import CellSpec, ZoneWorkloadSpec
+
+ZONES4 = ("dc-a", "dc-b", "dc-c", "dc-d")
+
+SMALL_CELL = dict(num_shards=3)
+
+
+def small_workload(**overrides):
+    base = dict(clients=2, shared_keys=16, private_keys=4,
+                think_mean=300e-6)
+    base.update(overrides)
+    return ZoneWorkloadSpec(**base)
+
+
+def test_same_seed_parallel_runs_bit_identical():
+    """Claim 2: rerunning the 4-shard parallel federation on the same
+    seed reproduces every digest bit-for-bit."""
+    runs = [run_federation_arm(ZONES4, cell_spec=CellSpec(**SMALL_CELL),
+                               workload=small_workload(), duration=0.1,
+                               mode="parallel") for _ in range(2)]
+    assert digest_mismatches(runs[0], runs[1]) == []
+    assert runs[0].events == runs[1].events
+    assert runs[0].windows == runs[1].windows
+
+
+def test_parallel_matches_sequential_execution():
+    """Claim 1: worker processes change nothing but the wall clock.
+    (compare_parallel asserts digest equivalence internally.)"""
+    record = compare_parallel(ZONES4, cell_spec=CellSpec(**SMALL_CELL),
+                              workload=small_workload(), duration=0.1)
+    assert record["digest_equivalent"]
+    assert record["events"] > 0
+    assert record["messages_routed"] > 0
+    assert not record["leaked_children"]
+
+
+def test_single_shard_matches_plain_federation():
+    """Claim 3 (exact half): with one zone there is no WAN traffic, so
+    the sharded run must reproduce the plain Federation run exactly —
+    op digests, event counts, metric totals, and the final clock."""
+    workload = small_workload(population_clients=20,
+                              population_rate=100.0,
+                              population_drivers=2, population_keys=32)
+    plain = run_federation_arm(("dc-a",), cell_spec=CellSpec(**SMALL_CELL),
+                               workload=workload, duration=0.1,
+                               mode="plain")
+    sharded = run_federation_arm(("dc-a",),
+                                 cell_spec=CellSpec(**SMALL_CELL),
+                                 workload=workload, duration=0.1,
+                                 mode="parallel")
+    plain_zone = plain["digests"]["dc-a"]
+    shard_zone = sharded.digests[0]
+    for field in ("ops", "ops_digest", "fed_stats", "population",
+                  "metrics"):
+        assert shard_zone[field] == plain_zone[field], field
+    assert shard_zone["events"] == plain["events"]
+    assert shard_zone["final_now"] == plain["horizon"]
+
+
+def test_multi_zone_semantics_match_plain_federation():
+    """Claim 3 (semantic half): across models, every preloaded GET must
+    hit (locally or by remote fallback) and fan-out writes must apply —
+    in both the plain and the sharded world."""
+    workload = small_workload(remote_every=4, fanout_every=8)
+    plain = run_federation_arm(ZONES4, cell_spec=CellSpec(**SMALL_CELL),
+                               workload=workload, duration=0.1,
+                               mode="plain")
+    sharded = run_federation_arm(ZONES4, cell_spec=CellSpec(**SMALL_CELL),
+                                 workload=workload, duration=0.1,
+                                 mode="sequential")
+    for digest in list(plain["digests"].values()) + sharded.digests:
+        stats = digest["fed_stats"]
+        assert stats["misses"] == 0, digest["zone"]
+        assert stats["remote_hits"] > 0, digest["zone"]
+        assert stats["local_hits"] > 0, digest["zone"]
+        assert digest["ops"] > 0
+    assert sharded.messages_routed > 0
+
+
+def test_no_worker_processes_leak():
+    run_federation_arm(ZONES4, cell_spec=CellSpec(**SMALL_CELL),
+                       workload=small_workload(), duration=0.05,
+                       mode="parallel")
+    assert multiprocessing.active_children() == []
+
+
+def test_lookahead_violation_is_loud():
+    """A lookahead larger than the true minimum WAN latency would let a
+    message arrive in a shard's past; the kernel's inject() guard must
+    turn that into an error, not silent time travel."""
+    from repro.core.parallelfed import shard_builders
+    from repro.net import FabricConfig
+    from repro.sim import ShardCoordinator, SimulationError
+    builders = shard_builders(("dc-a", "dc-b"), CellSpec(**SMALL_CELL),
+                              FabricConfig(), small_workload(
+                                  remote_every=2, think_mean=100e-6),
+                              0.2)
+    coordinator = ShardCoordinator(
+        builders, lookahead=10 * FabricConfig().inter_zone_delay,
+        run_for=0.2)
+    with pytest.raises(SimulationError):
+        coordinator.run(parallel=False)
