@@ -29,7 +29,8 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 from _common import run_once
 
-from repro.analysis import compare_parallel
+from repro.analysis import (assert_digest_equivalent, compare_parallel,
+                            run_federation_arm)
 from repro.core import CellSpec, ZoneWorkloadSpec
 
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
@@ -117,3 +118,42 @@ def bench_parallel_federation(benchmark):
     }
     OUTPUT.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
     print(f"  wrote {OUTPUT.name}")
+
+
+def bench_parallel_tracing_determinism(benchmark):
+    """Observability must be a pure tap: the same seeded federation run
+    untraced, traced (with tail sampling), and traced + flight recorder
+    must produce bit-identical digests. Tracing draws its ids from a
+    tracer-private stream and the flight recorder only reads the clock,
+    so any digest drift here means instrumentation perturbed scheduling
+    or shared RNG state — the exact bug class this guard exists for.
+    """
+    zones = ["dc-a", "dc-b"]
+    arms = {
+        "untraced": CellSpec(num_shards=NUM_SHARDS, tracing=False),
+        "traced": CellSpec(num_shards=NUM_SHARDS, tracing=True,
+                           trace_sample_every=5,
+                           trace_slow_threshold=5e-4),
+        "traced+flight": CellSpec(num_shards=NUM_SHARDS, tracing=True,
+                                  trace_sample_every=5,
+                                  trace_slow_threshold=5e-4,
+                                  flight_recorder=True),
+    }
+
+    def run_three_arms():
+        workload = ZoneWorkloadSpec(clients=2, population_clients=20,
+                                    population_rate=50.0,
+                                    population_keys=64)
+        return {name: run_federation_arm(zones, cell_spec=spec,
+                                         workload=workload, duration=0.05,
+                                         mode="sequential")
+                for name, spec in arms.items()}
+
+    reports = run_once(benchmark, run_three_arms)
+    baseline = reports["untraced"]
+    for name in ("traced", "traced+flight"):
+        assert_digest_equivalent(baseline, reports[name])
+    ops = sum(d["ops"] for d in baseline.digests)
+    assert ops > 0, "determinism guard ran no ops"
+    print(f"\n  three-arm digest check: {ops:,} ops x "
+          f"{len(arms)} arms, all digests identical")

@@ -1,5 +1,7 @@
 """Measurement and reporting utilities for tests and benchmarks."""
 
+from .bench_history import (bench_rows, load_bench_files, perf_history,
+                            render_history)
 from .dashboard import (BackendSnapshot, CellSnapshot, ClientSnapshot,
                         snapshot_cell)
 from .perf import (compare_kernel_stress, profile_hotspots,
@@ -17,6 +19,9 @@ from .reporting import (render_alerts, render_metrics,
                         sparkline)
 from .stats import (CounterSeries, LatencyRecorder, TimeSeries, cdf_points,
                     cpu_ns_per_op, cpu_us_per_op, ks_distance)
+from .stitch import (StitchedTrace, filter_traces, stitch_traces,
+                     stitched_chrome_trace, walk_span_dict,
+                     write_stitched_chrome_trace, zone_traces_from_digests)
 
 __all__ = [
     "BackendSnapshot", "CellSnapshot", "ClientSnapshot", "snapshot_cell",
@@ -31,4 +36,8 @@ __all__ = [
     "PERCENTILES", "run_population_arm", "compare_population",
     "run_federation_arm", "compare_parallel", "digest_mismatches",
     "assert_digest_equivalent", "profile_parallel_hotspots",
+    "StitchedTrace", "walk_span_dict", "zone_traces_from_digests",
+    "stitch_traces", "filter_traces", "stitched_chrome_trace",
+    "write_stitched_chrome_trace",
+    "load_bench_files", "bench_rows", "render_history", "perf_history",
 ]

@@ -15,7 +15,8 @@ from typing import Dict, List, Optional
 from ..net import Fabric, FabricConfig, Host, HostConfig
 from ..rpc import Acl, Principal
 from ..sim import Resource, Simulator
-from ..telemetry import MetricsRegistry, Tracer
+from ..telemetry import (NULL_FLIGHT, FlightRecorder, MetricsRegistry,
+                         Tracer)
 from ..transport import (OneRmaTransport, PonyTransport, RdmaTransport,
                          Transport)
 from .backend import Backend, BackendConfig
@@ -54,6 +55,18 @@ class CellSpec:
     # Span tracing for every op. Disabling it takes the null-telemetry
     # fast path: zero span objects allocated anywhere on the op path.
     tracing: bool = True
+    # Tail-based trace sampling: when set, the tracer retains full span
+    # trees only for error/slow ops plus a deterministic 1-in-N of the
+    # rest. None keeps every finished root (bounded by the tracer's
+    # max_retained).
+    trace_sample_every: Optional[int] = None
+    trace_slow_threshold: Optional[float] = None
+    # Flight recorder: bounded ring of structured events (op ends,
+    # retries, quarantine flips, config bumps, resize phases, faults,
+    # alerts). Off by default — hook sites hold NULL_FLIGHT and take
+    # the same zero-allocation fast path as disabled tracing.
+    flight_recorder: bool = False
+    flight_capacity: int = 4096
 
 
 def make_transport(name: str, sim: Simulator, fabric: Fabric,
@@ -93,8 +106,15 @@ class Cell:
         # dashboard read a single coherent snapshot. The fabric counts
         # drops/corruption/slow-links into the same registry.
         self.metrics = MetricsRegistry()
-        self.tracer = Tracer(clock=lambda: self.sim.now,
-                             enabled=self.spec.tracing)
+        self.tracer = Tracer(
+            clock=lambda: self.sim.now, enabled=self.spec.tracing,
+            seed=self.spec.seed, namespace=f"{self.spec.name}/{zone}",
+            tail_sample_every=self.spec.trace_sample_every,
+            tail_slow_threshold=self.spec.trace_slow_threshold)
+        self.flight = FlightRecorder(
+            clock=lambda: self.sim.now,
+            capacity=self.spec.flight_capacity) \
+            if self.spec.flight_recorder else NULL_FLIGHT
         self.fabric.registry = self.metrics
         if self.transport is not None:
             self.transport.registry = self.metrics
@@ -364,7 +384,7 @@ class Cell:
             self.backend_by_task, self.transport, strategy=strategy,
             config=client_config, principal=principal,
             registry=self.metrics, tracer=self.tracer,
-            client_id=self._client_seq)
+            flight=self.flight, client_id=self._client_seq)
         if read_through and self.sor_coordinator is not None:
             client.read_through = self.sor_coordinator
         self._clients.append(client)

@@ -28,7 +28,8 @@ from ..net import Fabric, Host, NetworkDropError
 from ..rpc import (PermissionDeniedError, Principal, RpcChannel, RpcError,
                    connect as rpc_connect)
 from ..sim import Interrupt, RandomStream, Simulator
-from ..telemetry import (NULL_SPAN, MetricsRegistry, TraceContext, Tracer)
+from ..telemetry import (NULL_FLIGHT, NULL_SPAN, MetricsRegistry,
+                         TraceContext, Tracer)
 from ..transport import (RegionRevokedError, RemoteHostDownError, RmaError,
                          Transport)
 from .config import CellConfig, ConfigStore, GetStrategy, ReplicationMode
@@ -222,6 +223,16 @@ class _AttemptRetry(Exception):
         self.stale_tasks = stale_tasks
 
 
+def _parent_span(trace):
+    """Normalize a ``trace=`` argument (TraceContext | Span | None) to
+    the parent span it designates, or None for an unparented op."""
+    if trace is None:
+        return None
+    if isinstance(trace, TraceContext):
+        return trace.root
+    return trace
+
+
 class CliqueMapClient:
     """One application client of a CliqueMap cell."""
 
@@ -235,6 +246,7 @@ class CliqueMapClient:
                  truetime: Optional[TrueTime] = None,
                  registry: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None,
+                 flight=None,
                  client_id: Optional[int] = None):
         self.sim = sim
         self.fabric = fabric
@@ -295,6 +307,11 @@ class CliqueMapClient:
         # operation span trees (see repro.telemetry).
         self.metrics = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer or Tracer(clock=lambda: self.sim.now)
+        # Flight recorder (cell-shared ring of structured events).
+        # NULL_FLIGHT is falsy, so every hook site below guards with
+        # ``if self._flight:`` and a disabled recorder costs nothing.
+        self._flight = flight if flight is not None else NULL_FLIGHT
+        self._flight_origin = f"client-{self.client_id}"
         self._m_ops = self.metrics.counter(
             "cliquemap_ops_total",
             "Completed client operations by op and terminal status")
@@ -367,6 +384,11 @@ class CliqueMapClient:
         """Install a config generation: rebuild the authoritative
         placement and, mid-resize, the target-layout placement too."""
         self.cell = config
+        if self._flight:
+            self._flight.record("config", origin=self._flight_origin,
+                                config_id=config.config_id,
+                                num_shards=config.num_shards,
+                                resize_active=config.resize_active)
         self.placement = Placement(config.num_shards,
                                    config.mode.replicas)
         if config.resize_active:
@@ -377,6 +399,9 @@ class CliqueMapClient:
 
     def _health_event(self, task: str, event: str) -> None:
         self._m_quarantine.labels(task=task, event=event).inc()
+        if self._flight:
+            self._flight.record("quarantine", origin=self._flight_origin,
+                                task=task, event=event)
 
     def _new_health(self, task: str) -> BackendHealth:
         return BackendHealth(task, clock=lambda: self.sim.now,
@@ -536,8 +561,15 @@ class CliqueMapClient:
     # GET
     # ------------------------------------------------------------------
 
-    def get(self, key: bytes, deadline: Optional[float] = None) -> Generator:
-        """Look up a key; retries transparently, returns a GetResult."""
+    def get(self, key: bytes, deadline: Optional[float] = None,
+            trace=None) -> Generator:
+        """Look up a key; retries transparently, returns a GetResult.
+
+        ``trace`` (a :class:`TraceContext` or :class:`Span`, optional)
+        parents this op's span tree under an enclosing operation — a
+        federated fan-out or a WAN gateway serve — instead of starting
+        a standalone root.
+        """
         self.stats["gets"] += 1
         started = self.sim.now
         deadline_at = started + (deadline or self.config.default_deadline)
@@ -547,7 +579,8 @@ class CliqueMapClient:
         backoff = BackoffPolicy(self.config.retry_backoff,
                                 self.config.retry_backoff_cap,
                                 self._retry_rand)
-        root = self.tracer.start("get", client=self.client_id,
+        root = self.tracer.start("get", parent=_parent_span(trace),
+                                 client=self.client_id,
                                  strategy=self.strategy.value)
 
         while attempts < self.config.max_retries and \
@@ -559,6 +592,10 @@ class CliqueMapClient:
             except _AttemptRetry as retry:
                 self.stats["retries"] += 1
                 self._m_retries.labels(op="get", reason=retry.reason).inc()
+                if self._flight:
+                    self._flight.record("retry", origin=self._flight_origin,
+                                        op="get", reason=retry.reason,
+                                        attempt=attempts)
                 last_reason = retry.reason
                 if retry.reason.startswith("validation"):
                     self.stats["validation_failures"] += 1
@@ -573,6 +610,11 @@ class CliqueMapClient:
                     self.stats["retries_shed"] += 1
                     self._m_retries_shed.labels(op="get",
                                                 reason=retry.reason).inc()
+                    if self._flight:
+                        self._flight.record("retry_shed",
+                                            origin=self._flight_origin,
+                                            op="get", reason=retry.reason,
+                                            attempt=attempts)
                     last_reason = "budget-exhausted"
                     root.annotate(shed_retry=True)
                     break
@@ -643,7 +685,7 @@ class CliqueMapClient:
 
     def _finish_op(self, op: str, status: str, latency: float,
                    root) -> Optional[TraceContext]:
-        """Record terminal metrics + trace for one operation."""
+        """Record terminal metrics + trace + flight event for one op."""
         handle = self._h_ops.get((op, status))
         if handle is None:
             handle = self._h_ops[(op, status)] = self._m_ops.labels(
@@ -654,10 +696,24 @@ class CliqueMapClient:
             latency_handle = self._h_latency[op] = self._m_latency.labels(
                 op=op, strategy=self.strategy.value)
         latency_handle.observe(latency)
+        if self._flight:
+            self._flight.record("op", origin=self._flight_origin, op=op,
+                                status=status, latency=latency,
+                                trace_id=root.trace_id if root else None)
         if not root:  # tracing disabled: NULL_SPAN is falsy
             return None
         root.annotate(status=status)
-        self.tracer.record(root)
+        # Only standalone roots enter the tracer's retained history — a
+        # parented op (federated fan-out leg, gateway serve) is part of
+        # its enclosing trace, which is recorded by whoever started it.
+        if root.parent is None:
+            self.tracer.record(root)
+            if root.trace_id and self.tracer.finished and \
+                    self.tracer.finished[-1] is root:
+                # Exemplar: link this (retained) trace to the latency
+                # histogram sample it produced.
+                latency_handle.exemplar(latency, root.trace_id,
+                                        self.sim.now)
         return TraceContext(root)
 
     def _read_through_miss(self, key: bytes, attempts: int, started: float,
@@ -966,7 +1022,7 @@ class CliqueMapClient:
                 config_mismatch, stale)
         root.annotate(resolved=n - len(fallback),
                       fallback=len(fallback)).finish()
-        if root:
+        if root and root.parent is None:
             self.tracer.record(root)
         return results
 
@@ -1111,7 +1167,7 @@ class CliqueMapClient:
                 [False] * n, [[] for _ in keys])
         root.annotate(resolved=n - len(fallback),
                       fallback=len(fallback)).finish()
-        if root:
+        if root and root.parent is None:
             self.tracer.record(root)
         return results
 
@@ -1669,12 +1725,13 @@ class CliqueMapClient:
             yield from rt.write_through(key, value)
 
     def set(self, key: bytes, value: bytes,
-            deadline: Optional[float] = None) -> Generator:
+            deadline: Optional[float] = None, trace=None) -> Generator:
         """SET via RPC to all replicas with a fresh VersionNumber."""
         self.stats["sets"] += 1
         started = self.sim.now
         deadline_at = started + (deadline or self.config.default_deadline)
-        root = self.tracer.start("set", client=self.client_id)
+        root = self.tracer.start("set", parent=_parent_span(trace),
+                                 client=self.client_id)
         raw_value = value
         value = yield from self._encode_value(value)
         payload_size = len(key) + len(value) + 64
@@ -1721,6 +1778,10 @@ class CliqueMapClient:
                                           "set", "superseded", latency,
                                           root))
             self._m_retries.labels(op="set", reason="inquorate").inc()
+            if self._flight:
+                self._flight.record("retry", origin=self._flight_origin,
+                                    op="set", reason="inquorate",
+                                    attempt=_attempt + 1)
             last = MutationResult(SetStatus.FAILED, version=version,
                                   replicas_applied=applied, latency=latency,
                                   attempts=_attempt + 1)
@@ -1731,6 +1792,11 @@ class CliqueMapClient:
                 self.stats["retries_shed"] += 1
                 self._m_retries_shed.labels(op="set",
                                             reason="inquorate").inc()
+                if self._flight:
+                    self._flight.record("retry_shed",
+                                        origin=self._flight_origin,
+                                        op="set", reason="inquorate",
+                                        attempt=_attempt + 1)
                 last.error = "budget-exhausted"
                 root.annotate(shed_retry=True)
                 break
@@ -1894,7 +1960,7 @@ class CliqueMapClient:
                 results[i] = result
         root.annotate(resolved=n - len(fallback),
                       fallback=len(fallback)).finish()
-        if root:
+        if root and root.parent is None:
             self.tracer.record(root)
         return results
 
@@ -1908,12 +1974,13 @@ class CliqueMapClient:
         return results
 
     def erase(self, key: bytes,
-              deadline: Optional[float] = None) -> Generator:
+              deadline: Optional[float] = None, trace=None) -> Generator:
         """ERASE via RPC; tombstoned so late SETs cannot resurrect (§5.2)."""
         self.stats["erases"] += 1
         started = self.sim.now
         deadline_at = started + (deadline or self.config.default_deadline)
-        root = self.tracer.start("erase", client=self.client_id)
+        root = self.tracer.start("erase", parent=_parent_span(trace),
+                                 client=self.client_id)
         quorum = self.cell.mode.quorum
         last = MutationResult(SetStatus.FAILED)
         backoff = BackoffPolicy(self.config.retry_backoff,
@@ -1951,6 +2018,10 @@ class CliqueMapClient:
                                           "erase", "superseded", latency,
                                           root))
             self._m_retries.labels(op="erase", reason="inquorate").inc()
+            if self._flight:
+                self._flight.record("retry", origin=self._flight_origin,
+                                    op="erase", reason="inquorate",
+                                    attempt=_attempt + 1)
             last = MutationResult(SetStatus.FAILED, version=version,
                                   replicas_applied=applied, latency=latency,
                                   attempts=_attempt + 1)
@@ -1961,6 +2032,11 @@ class CliqueMapClient:
                 self.stats["retries_shed"] += 1
                 self._m_retries_shed.labels(op="erase",
                                             reason="inquorate").inc()
+                if self._flight:
+                    self._flight.record("retry_shed",
+                                        origin=self._flight_origin,
+                                        op="erase", reason="inquorate",
+                                        attempt=_attempt + 1)
                 last.error = "budget-exhausted"
                 root.annotate(shed_retry=True)
                 break
@@ -1974,11 +2050,12 @@ class CliqueMapClient:
         return last
 
     def cas(self, key: bytes, value: bytes, expected: VersionNumber,
-            deadline: Optional[float] = None) -> Generator:
+            deadline: Optional[float] = None, trace=None) -> Generator:
         """Compare-and-set: install only if the stored version matches."""
         self.stats["cas"] += 1
         started = self.sim.now
-        root = self.tracer.start("cas", client=self.client_id)
+        root = self.tracer.start("cas", parent=_parent_span(trace),
+                                 client=self.client_id)
         raw_value = value
         value = yield from self._encode_value(value)
         version = self.versions.next()

@@ -108,33 +108,58 @@ class FederatedClient:
         for remote in self.remotes.values():
             yield from remote.connect()
 
+    def _start_fed_span(self, name: str):
+        """Root span covering the whole federated operation.
+
+        Local and remote legs attach under it via their ``trace=``
+        parameter, so one span tree covers client → local cell →
+        WAN fan-out → remote cell (the stitcher joins the halves that
+        live in another zone's tracer, see analysis.stitch).
+        """
+        return self.local.tracer.start(name, zone=self.zone)
+
     def get(self, key: bytes, deadline: Optional[float] = None) -> Generator:
         """Serve locally; on miss/error, try remote cells over WAN RPC."""
-        result = yield from self.local.get(key, deadline)
+        root = self._start_fed_span("fed.get")
+        result = yield from self.local.get(key, deadline, trace=root)
         if result.status is GetStatus.HIT:
             self.stats["local_hits"] += 1
+            self._finish_fed_span(root, "local_hit")
             return result
-        for remote in self.remotes.values():
-            remote_result = yield from remote.get(key)
+        for zone, remote in self.remotes.items():
+            remote_result = yield from remote.get(key, trace=root)
             if remote_result.status is GetStatus.HIT:
                 self.stats["remote_hits"] += 1
                 # Fill the local cell so the next GET is an RMA hit.
-                yield from self.local.set(key, remote_result.value)
+                yield from self.local.set(key, remote_result.value,
+                                          trace=root)
+                self._finish_fed_span(root, "remote_hit", remote_zone=zone)
                 return remote_result
         self.stats["misses"] += 1
+        self._finish_fed_span(root, "miss")
         return result
 
     def set(self, key: bytes, value: bytes,
             deadline: Optional[float] = None) -> Generator:
         """Write everywhere: the local cell plus every remote cell."""
-        result = yield from self.local.set(key, value, deadline)
+        root = self._start_fed_span("fed.set")
+        result = yield from self.local.set(key, value, deadline, trace=root)
         for remote in self.remotes.values():
-            yield from remote.set(key, value)
+            yield from remote.set(key, value, trace=root)
+        self._finish_fed_span(root, result.status.name.lower())
         return result
 
     def erase(self, key: bytes,
               deadline: Optional[float] = None) -> Generator:
-        result = yield from self.local.erase(key, deadline)
+        root = self._start_fed_span("fed.erase")
+        result = yield from self.local.erase(key, deadline, trace=root)
         for remote in self.remotes.values():
-            yield from remote.erase(key)
+            yield from remote.erase(key, trace=root)
+        self._finish_fed_span(root, result.status.name.lower())
         return result
+
+    def _finish_fed_span(self, root, outcome: str, **labels) -> None:
+        if not root:
+            return
+        root.annotate(outcome=outcome, **labels).finish()
+        self.local.tracer.record(root)

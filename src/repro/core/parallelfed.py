@@ -68,6 +68,11 @@ class ZoneWorkloadSpec:
     population_drivers: int = 4
     population_keys: int = 512
     seed: int = 1
+    # Export each zone's retained span trees (as plain dicts) in its
+    # run digest, so the post-run stitcher can merge cross-zone traces.
+    # Off by default: trace payloads ride in worker result pickles and
+    # the equivalence digests deliberately ignore them.
+    export_traces: bool = False
 
 
 @dataclass(frozen=True)
@@ -104,20 +109,45 @@ class RemoteZoneProxy:
         return
         yield  # pragma: no cover - makes this a generator
 
-    def get(self, key: bytes, deadline: Optional[float] = None):
+    def _wan_span(self, trace, op: str):
+        """Local span covering the parked WAN round trip (or None).
+
+        Its :meth:`~repro.telemetry.Span.ref` rides in the request
+        message; the destination starts a ``wan.serve`` root whose
+        ``remote_parent`` is exactly this span — the joint the post-run
+        stitcher reassembles.
+        """
+        if not trace:
+            return None, None
+        span = trace.child("wan.call", op=op,
+                           dst=self.shard.spec.zones[self.dst_index])
+        return span, span.ref(self.shard.zone)
+
+    def get(self, key: bytes, deadline: Optional[float] = None,
+            trace=None):
+        span, ref = self._wan_span(trace, "get")
         status_name, value = yield from self.shard.wan_call(
-            self.dst_index, "get", key, None)
+            self.dst_index, "get", key, None, trace_ref=ref)
+        if span is not None:
+            span.annotate(status=status_name).finish()
         return RemoteOpResult(GetStatus[status_name], value)
 
     def set(self, key: bytes, value: bytes,
-            deadline: Optional[float] = None):
+            deadline: Optional[float] = None, trace=None):
+        span, ref = self._wan_span(trace, "set")
         status_name, _ = yield from self.shard.wan_call(
-            self.dst_index, "set", key, value)
+            self.dst_index, "set", key, value, trace_ref=ref)
+        if span is not None:
+            span.annotate(status=status_name).finish()
         return RemoteOpResult(status_name)
 
-    def erase(self, key: bytes, deadline: Optional[float] = None):
+    def erase(self, key: bytes, deadline: Optional[float] = None,
+              trace=None):
+        span, ref = self._wan_span(trace, "erase")
         status_name, _ = yield from self.shard.wan_call(
-            self.dst_index, "erase", key, None)
+            self.dst_index, "erase", key, None, trace_ref=ref)
+        if span is not None:
+            span.annotate(status=status_name).finish()
         return RemoteOpResult(status_name)
 
 
@@ -233,7 +263,8 @@ def start_zone_workload(sim: Simulator, zone: str, zones: Tuple[str, ...],
 
 
 def _zone_digest(zone: str, digest: OpDigest, fed_clients, generator,
-                 metrics) -> Dict[str, object]:
+                 metrics, tracer=None,
+                 export_traces: bool = False) -> Dict[str, object]:
     stats = {"local_hits": 0, "remote_hits": 0, "misses": 0}
     for fed_client in fed_clients:
         for name in stats:
@@ -244,7 +275,7 @@ def _zone_digest(zone: str, digest: OpDigest, fed_clients, generator,
         population = {"gets": m.gets, "hits": m.hits,
                       "offered": m.offered, "shed": m.shed,
                       "thinned": m.thinned}
-    return {
+    out = {
         "zone": zone,
         "ops": digest.ops,
         "ops_digest": digest.hexdigest(),
@@ -253,6 +284,12 @@ def _zone_digest(zone: str, digest: OpDigest, fed_clients, generator,
         "metrics": {name: metrics.total(name)
                     for name in metrics.families()},
     }
+    if export_traces and tracer is not None:
+        # Extra key, deliberately ignored by the equivalence digests
+        # (analysis.parallel compares a fixed field list): the zone's
+        # retained span trees as plain picklable dicts for the stitcher.
+        out["traces"] = [span.to_dict() for span in tracer.finished]
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -317,8 +354,13 @@ class ZoneShard(ShardProgram):
     # -- WAN protocol ------------------------------------------------------
 
     def wan_call(self, dst_index: int, op: str, key: bytes,
-                 value: Optional[bytes]):
+                 value: Optional[bytes],
+                 trace_ref: Optional[tuple] = None):
         """Issue one remote op; parks until the reply arrives (generator).
+
+        ``trace_ref`` (a :data:`~repro.telemetry.SpanRef` or None) rides
+        in the request message's ``trace`` field — propagation only,
+        never consulted by the window protocol.
         """
         self._req_seq += 1
         req_id = self._req_seq
@@ -326,34 +368,48 @@ class ZoneShard(ShardProgram):
         self._pending[req_id] = event
         link = self._links[dst_index]
         self.send(dst_index, "req", (req_id, self.index, op, key, value),
-                  arrival=link.arrival(self.sim.now))
+                  arrival=link.arrival(self.sim.now), trace=trace_ref)
         payload = yield event
         return payload
 
     def receive(self, message) -> None:
         if message.kind == "req":
             self.sim.inject(message.arrival, self._spawn_serve,
-                            message.payload)
+                            (message.payload, message.trace))
         elif message.kind == "rsp":
             self.sim.inject(message.arrival, self._complete_call,
                             message.payload)
         else:
             raise ValueError(f"unknown message kind {message.kind!r}")
 
-    def _spawn_serve(self, payload) -> None:
-        self.sim.process(self._serve(payload))
+    def _spawn_serve(self, request) -> None:
+        payload, trace_ref = request
+        self.sim.process(self._serve(payload, trace_ref))
 
-    def _serve(self, payload):
+    def _serve(self, payload, trace_ref=None):
         req_id, src_index, op, key, value = payload
+        # Serve-side root: joins the originating trace (same trace_id)
+        # with the WAN caller's span as its remote parent, so the
+        # stitcher can hang this zone's whole serve tree under the
+        # origin zone's wan.call span. Untraced requests serve exactly
+        # as before (the gateway op becomes its own standalone root).
+        root = None
+        if trace_ref is not None:
+            root = self.cell.tracer.start(
+                "wan.serve", remote_parent=tuple(trace_ref), op=op,
+                zone=self.zone, src=self.spec.zones[src_index])
         if op == "get":
-            result = yield from self._gateway.get(key)
+            result = yield from self._gateway.get(key, trace=root)
             reply = (req_id, result.status.name, result.value)
         elif op == "set":
-            result = yield from self._gateway.set(key, value)
+            result = yield from self._gateway.set(key, value, trace=root)
             reply = (req_id, result.status.name, None)
         else:
-            result = yield from self._gateway.erase(key)
+            result = yield from self._gateway.erase(key, trace=root)
             reply = (req_id, result.status.name, None)
+        if root:
+            root.annotate(status=result.status.name).finish()
+            self.cell.tracer.record(root)
         link = self._links[src_index]
         self.send(src_index, "rsp", reply,
                   arrival=link.arrival(self.sim.now))
@@ -364,7 +420,9 @@ class ZoneShard(ShardProgram):
 
     def digest(self) -> Dict[str, object]:
         return _zone_digest(self.zone, self.op_digest, self.fed_clients,
-                            self.generator, self.cell.metrics)
+                            self.generator, self.cell.metrics,
+                            tracer=self.cell.tracer,
+                            export_traces=self.spec.workload.export_traces)
 
 
 # ---------------------------------------------------------------------------
@@ -409,7 +467,8 @@ def run_plain_federation(zones: Tuple[str, ...],
     sim.run(until=start + duration)
     for zone, cell, digest, fed_clients, generator in runtimes:
         digests[zone] = _zone_digest(zone, digest, fed_clients, generator,
-                                     cell.metrics)
+                                     cell.metrics, tracer=cell.tracer,
+                                     export_traces=workload.export_traces)
     return {
         "mode": "plain",
         "digests": digests,

@@ -170,6 +170,11 @@ class ResizeController:
                     cell._create_backend(task, shard=idx,
                                          placement=target_placement)
             self._m_events.labels(kind=action, outcome="started").inc()
+            if cell.flight:
+                cell.flight.record("resize", origin="resize-controller",
+                                   phase="started", action=action,
+                                   shards_before=len(old_tasks),
+                                   shards_after=len(target))
 
             def publish_prepare(config: CellConfig) -> None:
                 config.resize_num_shards = len(target)
@@ -253,6 +258,10 @@ class ResizeController:
         finally:
             self.stats.last_handoff_seconds = self.sim.now - started
             self._m_events.labels(kind=action, outcome=outcome).inc()
+            if cell.flight:
+                cell.flight.record("resize", origin="resize-controller",
+                                   phase=outcome, action=action,
+                                   duration=self.sim.now - started)
             self._scanners.clear()
             self.active = False
             cell.topology_lock.release(request)

@@ -190,6 +190,10 @@ class FaultInjector:
                                       outcome=outcome, **event.args)
         span.finish()
         self.cell.tracer.record(span)
+        if self.cell.flight:
+            self.cell.flight.record("fault", origin="fault-injector",
+                                    fault=event.kind, outcome=outcome,
+                                    **event.args)
 
     def _backend_host(self, shard: int) -> Host:
         task = self.cell.task_for_shard(shard)

@@ -131,7 +131,16 @@ class SoakConfig:
     plan: Optional[FaultPlan] = None
     # With observe: write timeseries.json + trace.json into this
     # directory before the plane stops (used by the observe CLI and CI).
+    # When a run ends badly — an invariant violation or a fired SLO
+    # alert — a postmortem bundle also lands here (healthy runs write
+    # no bundle; see repro.observe.postmortem).
     export_dir: Optional[str] = None
+    # Arm the cell's flight recorder (bounded structured event ring:
+    # op outcomes, retries, quarantines, config bumps, resize phases,
+    # fault injections, alert transitions). Off by default — recording
+    # is cheap but not free, and default soaks stay byte-identical.
+    flight: bool = False
+    flight_capacity: int = 4096
     # System-of-record miss pipeline (all opt-in; defaults leave the
     # soak byte-identical to pre-PR-6 runs). With ``sor=True`` the soak
     # attaches a provisioned-throughput SoR pre-loaded with
@@ -188,6 +197,9 @@ class SoakReport:
     sli: Optional[dict] = None
     timeseries: Optional[dict] = None
     exports: List[str] = field(default_factory=list)
+    # Path of the postmortem bundle written into export_dir, or None
+    # when the run was healthy (or no export_dir was configured).
+    bundle: Optional[str] = None
     # Populated when the soak ran with config.sor: the coordinator's
     # stat counters, SoR-side totals, and the cold-keyspace read tally.
     sor_stats: Optional[dict] = None
@@ -239,7 +251,9 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
         repair_config=RepairConfig(
             enabled=True, scan_interval=config.repair_scan_interval),
         maintenance_config=MaintenanceConfig(),
-        resize_config=config.resize_config or ResizeConfig()))
+        resize_config=config.resize_config or ResizeConfig(),
+        flight_recorder=config.flight,
+        flight_capacity=config.flight_capacity))
     sim = cell.sim
     sor = None
     coordinator = None
@@ -464,6 +478,27 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
         plane.write_timeseries(ts_path)
         plane.write_trace(tr_path)
         exports = [ts_path, tr_path]
+
+    # Postmortem: a run that ended badly freezes its debugging state to
+    # export_dir before anything is torn down. Healthy runs write no
+    # bundle — CI's smoke job asserts on both halves of that contract.
+    bundle = None
+    violated = bool(bad_hits or unrecovered or diverged)
+    fired = plane.engine.fired() if plane is not None else []
+    if config.export_dir and (violated or fired):
+        from ..observe.postmortem import write_postmortem_bundle
+        reason = "invariant-violation" if violated else "slo-alert"
+        bundle = write_postmortem_bundle(
+            config.export_dir, reason, cell=cell, plane=plane,
+            detail={
+                "bad_hits": len(bad_hits),
+                "unrecovered": len(unrecovered),
+                "diverged": len(diverged),
+                "alerts_fired": len(fired),
+                "injected": [f"t={at:.3f}s {event.kind} [{outcome}]"
+                             for at, event, outcome in injector.injected],
+            })
+        exports.append(bundle)
     if plane is not None:
         plane.stop()
 
@@ -485,6 +520,7 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
         sli=plane.sli_summary() if plane is not None else None,
         timeseries=plane.scraper.to_dict() if plane is not None else None,
         exports=exports,
+        bundle=bundle,
         foreground=dict(foreground),
         resize_stats=None if config.resize is None else {
             "controller": vars(cell.resize.stats).copy(),

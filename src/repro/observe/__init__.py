@@ -15,10 +15,14 @@ plane on top of :mod:`repro.telemetry`:
 * :mod:`repro.observe.autoscale` — the SLO-driven autoscaler closing
   the loop from burn-rate alerts and per-backend load series to online
   cell resize (``plane.autoscale()``).
+* :mod:`repro.observe.postmortem` — postmortem bundles freezing the
+  flight-recorder tail, the trailing time series, and the slow/error
+  span trees to disk when a soak trips an invariant or an alert fires.
 """
 
 from .autoscale import Autoscaler, AutoscalerConfig, AutoscalerStats
 from .plane import ObservabilityPlane, ObserveConfig
+from .postmortem import find_bundles, select_traces, write_postmortem_bundle
 from .prober import Prober, ProberConfig
 from .slo import (AlertEvent, BurnWindow, MetricTerm, SloEngine,
                   SloObjective, default_objectives)
@@ -29,4 +33,5 @@ __all__ = [
     "Prober", "ProberConfig",
     "AlertEvent", "BurnWindow", "MetricTerm", "SloEngine", "SloObjective",
     "default_objectives",
+    "write_postmortem_bundle", "find_bundles", "select_traces",
 ]

@@ -82,6 +82,9 @@ class ObservabilityPlane:
                 fire_factor=cfg.alert_burn_factor)
         self.engine = SloEngine(self.scraper, objectives,
                                 registry=cell.metrics)
+        # Alert transitions join the cell's flight-recorder stream (a
+        # no-op NULL_FLIGHT when CellSpec.flight_recorder is off).
+        self.engine.flight = cell.flight
         # Attached lazily by autoscale(); None keeps the control loop
         # entirely out of plain observability runs.
         self.autoscaler = None

@@ -1,0 +1,153 @@
+"""Postmortem bundles: everything a debugging session needs, in one dir.
+
+When a chaos soak trips an invariant or an SLO alert fires, the live
+state that explains *why* — the flight-recorder event stream leading up
+to the failure, the trailing metrics window, the span trees of the
+slowest and erroring ops — is about to be garbage-collected with the
+run. A postmortem bundle freezes that state to disk the moment the
+verdict lands:
+
+    <export_dir>/postmortem-<reason>/
+        manifest.json     what, when (sim time), why, and what's inside
+        flight.json       the flight-recorder ring (structured events)
+        flight.txt        the same events rendered one-per-line
+        timeseries.json   trailing window of every scraped series
+        alerts.json       SLO engine transitions (fire/resolve)
+        traces.json       span trees: every error op + the N slowest
+
+Bundles are written by :func:`write_postmortem_bundle`; the soak
+harness calls it automatically (``SoakConfig.export_dir`` +
+a violation or fired alert — healthy runs write nothing), and the
+``observe``/``chaos`` CLIs expose the same path. Everything in the
+bundle is plain JSON so ``repro.tools trace --stitch`` and the
+flight-recorder query surface work on it offline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any, Dict, List, Optional
+
+from ..telemetry.trace import ERROR_STATUSES
+
+# Bundle shape knobs — deliberately module constants, not config: a
+# postmortem should look the same no matter which harness wrote it.
+# The flight recorder is dumped whole: its ring is already the bounded
+# "last N events", and trimming it again here would drop the rare
+# causal events (faults, resize phases) under the bulk op stream.
+SLOWEST_TRACES = 8
+ERROR_TRACES = 32
+
+
+def _slug(reason: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "-", reason.lower()).strip("-") or "unknown"
+
+
+def _write_json(path: str, doc: Any) -> None:
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+
+
+def _span_status(span: Dict[str, Any]) -> str:
+    return str(span.get("labels", {}).get("status", ""))
+
+
+def select_traces(finished, slowest: int = SLOWEST_TRACES,
+                  errors: int = ERROR_TRACES) -> List[Dict[str, Any]]:
+    """The bundle's trace selection: every error root (up to a cap)
+    plus the N slowest roots, deduped, as span dicts."""
+    roots = [span.to_dict() for span in finished]
+    error_roots = [r for r in roots
+                   if _span_status(r) in ERROR_STATUSES][-errors:]
+    by_duration = sorted(roots, key=lambda r: r.get("duration") or 0.0,
+                         reverse=True)[:slowest]
+    picked: List[Dict[str, Any]] = []
+    seen = set()
+    for root in error_roots + by_duration:
+        key = id(root)
+        if key not in seen:
+            seen.add(key)
+            picked.append(root)
+    return picked
+
+
+def write_postmortem_bundle(export_dir: str, reason: str,
+                            cell=None, plane=None, flight=None,
+                            tracer=None,
+                            detail: Optional[Dict[str, Any]] = None) -> str:
+    """Freeze the run's debugging state under ``export_dir``.
+
+    ``reason`` names the trigger (e.g. ``invariant_violation``,
+    ``slo_alert``) and the bundle directory. ``cell`` supplies the
+    flight recorder and tracer unless ``flight``/``tracer`` override
+    them; ``plane`` (optional) contributes the scraped time series and
+    alert log. ``detail`` is free-form context recorded verbatim in the
+    manifest (violation messages, fired-alert summaries). Returns the
+    bundle directory path.
+    """
+    flight = flight if flight is not None else getattr(cell, "flight", None)
+    tracer = tracer if tracer is not None else getattr(cell, "tracer", None)
+    bundle_dir = os.path.join(export_dir, f"postmortem-{_slug(reason)}")
+    os.makedirs(bundle_dir, exist_ok=True)
+    contents = ["manifest.json"]
+
+    if flight is not None:
+        events = flight.to_dicts()
+        _write_json(os.path.join(bundle_dir, "flight.json"), {
+            "recorded": getattr(flight, "recorded", 0),
+            "retained": len(events),
+            "events": events,
+        })
+        with open(os.path.join(bundle_dir, "flight.txt"), "w") as fh:
+            fh.write(flight.render() + "\n")
+        contents += ["flight.json", "flight.txt"]
+
+    if plane is not None:
+        doc = plane.scraper.to_dict()
+        doc["alerts"] = plane.engine.to_dict()
+        _write_json(os.path.join(bundle_dir, "timeseries.json"), doc)
+        _write_json(os.path.join(bundle_dir, "alerts.json"),
+                    plane.engine.to_dict())
+        contents += ["timeseries.json", "alerts.json"]
+
+    traces: List[Dict[str, Any]] = []
+    if tracer is not None and getattr(tracer, "finished", None):
+        traces = select_traces(tracer.finished)
+        _write_json(os.path.join(bundle_dir, "traces.json"),
+                    {"traces": traces})
+        contents.append("traces.json")
+
+    now = None
+    for source in (cell, plane):
+        sim = getattr(source, "sim", None) or getattr(
+            getattr(source, "cell", None), "sim", None)
+        if sim is not None:
+            now = sim.now
+            break
+    _write_json(os.path.join(bundle_dir, "manifest.json"), {
+        "reason": reason,
+        "sim_now": now,
+        "cell": getattr(getattr(cell, "spec", None), "name", None),
+        "contents": sorted(contents),
+        "flight_events": len(flight) if flight is not None else 0,
+        "traces": len(traces),
+        "detail": detail or {},
+    })
+    return bundle_dir
+
+
+def find_bundles(export_dir: str) -> List[str]:
+    """Bundle directories under ``export_dir`` (CI asserts on this)."""
+    if not os.path.isdir(export_dir):
+        return []
+    return sorted(
+        os.path.join(export_dir, name)
+        for name in os.listdir(export_dir)
+        if name.startswith("postmortem-")
+        and os.path.isfile(os.path.join(export_dir, name, "manifest.json")))
+
+
+__all__ = ["write_postmortem_bundle", "find_bundles", "select_traces",
+           "SLOWEST_TRACES", "ERROR_TRACES"]

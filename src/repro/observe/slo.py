@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from ..telemetry import NULL_FLIGHT
 from ..telemetry.timeseries import Scraper
 
 
@@ -163,6 +164,9 @@ class SloEngine:
         self.events: List[AlertEvent] = []
         self.active: Dict[Tuple[str, str, str], AlertEvent] = {}
         self.evaluations = 0
+        # The cell's flight recorder (plane attaches it); alert fire /
+        # resolve transitions land in the postmortem event stream.
+        self.flight = NULL_FLIGHT
         if registry is not None:
             self._alerts_family = registry.counter(
                 "cliquemap_slo_alerts_total",
@@ -205,11 +209,23 @@ class SloEngine:
                 self._alerts_family.labels(
                     cell=objective.cell, objective=objective.name,
                     severity=window.severity).inc()
+            if self.flight:
+                self.flight.record(
+                    "alert", origin=f"slo/{objective.cell}",
+                    event="fire", objective=objective.name,
+                    severity=window.severity, burn_long=burn_long,
+                    burn_short=burn_short)
         elif was_active and not firing:
             del self.active[key]
             self.events.append(
                 AlertEvent(t, "resolve", objective.name, objective.cell,
                            window.severity, burn_long, burn_short, window))
+            if self.flight:
+                self.flight.record(
+                    "alert", origin=f"slo/{objective.cell}",
+                    event="resolve", objective=objective.name,
+                    severity=window.severity, burn_long=burn_long,
+                    burn_short=burn_short)
 
     # -- readbacks -----------------------------------------------------------
 

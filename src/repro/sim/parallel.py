@@ -69,6 +69,12 @@ class ShardMessage:
     seq: int
     kind: str
     payload: tuple = ()
+    # Distributed-trace propagation: the sending span's cross-zone
+    # reference — (trace_id, origin_zone, span_id) — or None when the
+    # sender is untraced. Plain picklable primitives; carried verbatim,
+    # never consulted by the window protocol, so tracing on/off cannot
+    # change routing or ordering.
+    trace: Optional[tuple] = None
 
 
 class ShardProgram:
@@ -110,13 +116,13 @@ class ShardProgram:
     # -- helpers ----------------------------------------------------------
 
     def send(self, dst: int, kind: str, payload: tuple,
-             arrival: float) -> None:
+             arrival: float, trace: Optional[tuple] = None) -> None:
         """Queue an outbound message; the coordinator routes it at the
         next barrier. ``arrival`` must respect the link's lookahead."""
         self._msg_seq += 1
         self.outbox.append(ShardMessage(
             arrival=arrival, src=self.index, dst=dst, seq=self._msg_seq,
-            kind=kind, payload=payload))
+            kind=kind, payload=payload, trace=trace))
 
     def drain_outbox(self) -> List[ShardMessage]:
         out, self.outbox = self.outbox, []

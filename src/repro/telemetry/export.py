@@ -12,7 +12,11 @@ the same tooling production systems use:
 * :func:`prometheus_text` renders a :class:`MetricsRegistry` in the
   Prometheus text exposition format (``# HELP`` / ``# TYPE`` +
   one sample line per series; histograms as summary-style quantiles
-  with ``_count`` / ``_sum``).
+  with ``_count`` / ``_sum``). Histogram series carrying trace
+  exemplars get an OpenMetrics-style exemplar suffix on their
+  ``_count`` line (``... # {trace_id="..."} value timestamp``), so a
+  tail-latency sample links back to the full span tree that produced
+  it.
 """
 
 from __future__ import annotations
@@ -122,8 +126,14 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                     lines.append(
                         f"{name}{_label_str(series.labels, {'quantile': repr(q)})}"
                         f" {_fmt(val)}")
+                exemplar = ""
+                exemplars = getattr(series, "exemplars", ())
+                if exemplars:
+                    value, trace_id, ts = exemplars[-1]
+                    exemplar = (f" # {{trace_id=\"{_escape(trace_id)}\"}}"
+                                f" {_fmt(value)} {_fmt(ts)}")
                 lines.append(f"{name}_count{_label_str(series.labels)}"
-                             f" {_fmt(series.count)}")
+                             f" {_fmt(series.count)}{exemplar}")
                 lines.append(f"{name}_sum{_label_str(series.labels)}"
                              f" {_fmt(series.sum)}")
             else:

@@ -1,0 +1,138 @@
+"""Flight recorder: a bounded ring buffer of structured events.
+
+CliqueMap's RMA ops bypass the server CPU, so there is no server-side
+log to read after an incident (§6 of the paper) — causality has to be
+reconstructed from client-side records. The flight recorder is that
+record for this reproduction: a ``deque(maxlen=N)`` of small structured
+events — op completions, retry/backoff decisions, quarantine
+transitions, config-generation bumps, resize phase changes, fault
+injections, SLO alert fire/resolve — stamped with simulated time and a
+monotone sequence number, fed from the hook points the system already
+has.
+
+The discipline matches the PR 4 null-telemetry fast path: when
+recording is off, every hook site holds :data:`NULL_FLIGHT` (falsy) and
+is guarded by ``if self._flight:`` — a disabled recorder allocates
+nothing, appends nothing, and never perturbs a seeded run (events are
+recorded synchronously; nothing yields).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
+
+# The event kinds the standard hook points emit. Open set — queries
+# accept any string — but keeping the vocabulary here keeps emitters
+# and postmortem readers honest about what exists.
+EVENT_KINDS = ("op", "retry", "retry_shed", "quarantine", "config",
+               "resize", "fault", "alert")
+
+
+class FlightEvent:
+    """One recorded event: time, kind, origin, free-form fields."""
+
+    __slots__ = ("t", "seq", "kind", "origin", "fields")
+
+    def __init__(self, t: float, seq: int, kind: str, origin: str,
+                 fields: Dict[str, Any]):
+        self.t = t
+        self.seq = seq
+        self.kind = kind
+        self.origin = origin
+        self.fields = fields
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"t": self.t, "seq": self.seq, "kind": self.kind,
+                "origin": self.origin, "fields": dict(self.fields)}
+
+    def describe(self) -> str:
+        fields = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return f"[{self.t:12.6f}s #{self.seq:>6}] {self.kind:<11} " \
+               f"{self.origin:<24} {fields}"
+
+    def __repr__(self) -> str:
+        return f"FlightEvent({self.kind!r}, t={self.t:.6f}, " \
+               f"origin={self.origin!r})"
+
+
+class FlightRecorder:
+    """Bounded ring of :class:`FlightEvent` over a simulated clock."""
+
+    def __init__(self, clock: Callable[[], float], capacity: int = 4096):
+        self.clock = clock
+        self.capacity = capacity
+        self.recorded = 0          # total ever recorded (ring may drop)
+        self._ring: Deque[FlightEvent] = deque(maxlen=capacity)
+
+    def record(self, kind: str, origin: str = "", **fields: Any) -> None:
+        """Append one event stamped with the current simulated time."""
+        self.recorded += 1
+        self._ring.append(FlightEvent(self.clock(), self.recorded, kind,
+                                      origin, fields))
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __iter__(self) -> Iterator[FlightEvent]:
+        return iter(self._ring)
+
+    def events(self, kind: Optional[str] = None,
+               origin: Optional[str] = None,
+               since: Optional[float] = None,
+               last: Optional[int] = None) -> List[FlightEvent]:
+        """Filtered view, oldest first. ``last`` applies after filters."""
+        out = [e for e in self._ring
+               if (kind is None or e.kind == kind)
+               and (origin is None or e.origin == origin)
+               and (since is None or e.t >= since)]
+        if last is not None and last < len(out):
+            out = out[-last:]
+        return out
+
+    def to_dicts(self, last: Optional[int] = None) -> List[Dict[str, Any]]:
+        return [e.to_dict() for e in self.events(last=last)]
+
+    def render(self, last: Optional[int] = None) -> str:
+        return "\n".join(e.describe() for e in self.events(last=last))
+
+
+class _NullFlightRecorder:
+    """Disabled recorder: falsy, records nothing, allocates nothing."""
+
+    __slots__ = ()
+
+    capacity = 0
+    recorded = 0
+
+    def record(self, kind: str, origin: str = "", **fields: Any) -> None:
+        return None
+
+    def events(self, kind=None, origin=None, since=None, last=None):
+        return []
+
+    def to_dicts(self, last=None):
+        return []
+
+    def render(self, last=None) -> str:
+        return "(flight recorder disabled)"
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self):
+        return iter(())
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NULL_FLIGHT"
+
+
+NULL_FLIGHT = _NullFlightRecorder()

@@ -44,6 +44,10 @@ OVERFLOW_LABEL = "overflow"
 # small enough to bound a scrape-amplified 200-host soak.
 DEFAULT_HISTOGRAM_SAMPLE_CAP = 65536
 
+# Exemplars retained per histogram series (most recent wins; a tiny,
+# lazily allocated ring — zero cost for series that never see one).
+HISTOGRAM_EXEMPLAR_CAP = 4
+
 
 def _label_key(labels: Dict[str, Any]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
@@ -109,7 +113,7 @@ class Histogram:
 
     kind = "histogram"
     __slots__ = ("labels", "max_samples", "_samples", "_sorted", "_count",
-                 "_overflow_sum", "_seed", "_rand")
+                 "_overflow_sum", "_seed", "_rand", "_exemplars")
 
     def __init__(self, labels: Dict[str, str],
                  max_samples: int = DEFAULT_HISTOGRAM_SAMPLE_CAP,
@@ -125,6 +129,9 @@ class Histogram:
         self._overflow_sum: Optional[float] = None
         self._seed = seed
         self._rand: Optional[random.Random] = None
+        # Lazily allocated: [(value, trace_id, timestamp), ...] — the
+        # Prometheus-exemplar surface linking tail samples to traces.
+        self._exemplars: Optional[List[Tuple[float, str, float]]] = None
 
     def observe(self, value: float) -> None:
         count = self._count = self._count + 1
@@ -143,6 +150,25 @@ class Histogram:
         if slot < self.max_samples:
             self._samples[slot] = value
             self._sorted = None
+
+    def exemplar(self, value: float, trace_id: str,
+                 timestamp: float) -> None:
+        """Attach a trace exemplar to this series (bounded, newest kept).
+
+        Exemplars ride alongside the distribution — they never enter
+        ``count``/``sum``/percentiles or :meth:`snapshot`, so attaching
+        them cannot perturb any digest or equivalence check.
+        """
+        if self._exemplars is None:
+            self._exemplars = []
+        self._exemplars.append((float(value), trace_id, float(timestamp)))
+        if len(self._exemplars) > HISTOGRAM_EXEMPLAR_CAP:
+            del self._exemplars[:len(self._exemplars) -
+                                HISTOGRAM_EXEMPLAR_CAP]
+
+    @property
+    def exemplars(self) -> Tuple[Tuple[float, str, float], ...]:
+        return tuple(self._exemplars) if self._exemplars else ()
 
     @property
     def count(self) -> int:
@@ -191,6 +217,7 @@ class Histogram:
         self._count = 0
         self._overflow_sum = None
         self._rand = None
+        self._exemplars = None
 
     def snapshot(self) -> Dict[str, Any]:
         out = {"labels": dict(self.labels), "count": self.count,

@@ -20,6 +20,11 @@ Run with ``python -m repro.tools <command>``:
   ``BENCH_multiget.json`` for the perf trajectory.
 * ``perf profile`` — run a scale workload under cProfile and print the
   top-N hot spots (the starting point for optimization work).
+* ``perf history`` — aggregate every ``BENCH_*.json`` into one
+  perf-trajectory table and fail on floors.
+* ``trace``        — synthesize/replay op traces; with ``--stitch`` /
+  ``--flight`` / ``--federation-demo``, stitch cross-zone distributed
+  traces and query postmortem flight-recorder dumps.
 * ``model-check``  — explicit-state check of the R=3.2 protocol.
 """
 
@@ -161,12 +166,120 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_filters(args: argparse.Namespace, traces):
+    from ..analysis import filter_traces
+
+    return filter_traces(
+        traces, zone=args.zone or None, op=args.op or None,
+        min_latency=args.min_latency, errors_only=args.errors_only)
+
+
+def _print_stitched(args: argparse.Namespace, traces) -> None:
+    cross = sum(1 for t in traces if t.cross_zone)
+    print(f"{len(traces)} trace(s) after filters ({cross} cross-zone)")
+    for trace in traces[:args.limit]:
+        print()
+        print(trace.render())
+    if len(traces) > args.limit:
+        print(f"\n... {len(traces) - args.limit} more "
+              f"(raise --limit to see them)")
+    if args.out:
+        from ..analysis import write_stitched_chrome_trace
+        events = write_stitched_chrome_trace(args.out, traces)
+        print(f"\nwrote {events} trace events to {args.out} "
+              f"(load in Perfetto / chrome://tracing)")
+
+
+def _trace_stitch(args: argparse.Namespace) -> int:
+    """Stitch per-zone span trees from a JSON export or bundle."""
+    import json as _json
+
+    from ..analysis import stitch_traces
+
+    with open(args.stitch) as fh:
+        doc = _json.load(fh)
+    if "zones" in doc:
+        zone_traces = doc["zones"]
+    elif "traces" in doc:
+        # A postmortem bundle's traces.json: one cell, one zone.
+        zone_traces = {"cell": doc["traces"]}
+    else:
+        print(f"unrecognized trace file {args.stitch!r}: expected a "
+              f"'zones' map or a bundle's 'traces' list")
+        return 1
+    traces = _trace_filters(args, stitch_traces(zone_traces))
+    _print_stitched(args, traces)
+    return 0
+
+
+def _trace_flight(args: argparse.Namespace) -> int:
+    """Query a flight-recorder dump from a postmortem bundle."""
+    import json as _json
+    import os as _os
+
+    path = args.flight
+    if _os.path.isdir(path):
+        path = _os.path.join(path, "flight.json")
+    with open(path) as fh:
+        doc = _json.load(fh)
+    events = doc.get("events", [])
+    if args.kind:
+        events = [e for e in events if e["kind"] == args.kind]
+    if args.origin:
+        events = [e for e in events if args.origin in e.get("origin", "")]
+    if args.last is not None:
+        events = events[-args.last:]
+    print(f"{len(events)} event(s) (ring recorded "
+          f"{doc.get('recorded', '?')} total)")
+    for e in events:
+        fields = " ".join(f"{k}={v}" for k, v in
+                          sorted(e.get("fields", {}).items()))
+        print(f"[{e['t']:12.6f}s #{e['seq']:>6}] {e['kind']:<11} "
+              f"{e.get('origin', ''):<24} {fields}".rstrip())
+    return 0
+
+
+def _trace_federation_demo(args: argparse.Namespace) -> int:
+    """Run a small sharded federation and stitch its cross-zone traces."""
+    import json as _json
+
+    from ..analysis import (run_federation_arm, stitch_traces,
+                            zone_traces_from_digests)
+    from ..core import CellSpec
+    from ..core.parallelfed import ZoneWorkloadSpec
+
+    zones = [f"dc-{chr(ord('a') + i)}" for i in range(args.zones)]
+    workload = ZoneWorkloadSpec(clients=2, shared_keys=16, private_keys=4,
+                                seed=args.seed, export_traces=True)
+    report = run_federation_arm(
+        zones, cell_spec=CellSpec(num_shards=4), workload=workload,
+        duration=args.duration, mode="sequential")
+    zone_traces = zone_traces_from_digests(report.digests)
+    if args.save:
+        with open(args.save, "w") as fh:
+            _json.dump({"zones": zone_traces}, fh)
+        print(f"wrote raw per-zone traces to {args.save}")
+    traces = _trace_filters(args, stitch_traces(zone_traces))
+    _print_stitched(args, traces)
+    cross = [t for t in traces if t.cross_zone]
+    if args.assert_cross_zone and not cross:
+        print("FAIL: expected at least one stitched cross-zone trace")
+        return 1
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from ..analysis import render_table
     from ..core import Cell, CellSpec, ReplicationMode
     from ..sim import RandomStream
     from ..workloads import Trace, TraceReplayer, synthesize_trace
 
+    if args.federation_demo:
+        return _trace_federation_demo(args)
+    if args.stitch:
+        return _trace_stitch(args)
+    if args.flight:
+        return _trace_flight(args)
     if args.input:
         with open(args.input) as fp:
             trace = Trace.load(fp)
@@ -248,7 +361,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         pressure_value_bytes=2048,
         population=args.population,
         population_rate=args.population_rate,
-        population_sample_rate=args.population_sample_rate))
+        population_sample_rate=args.population_sample_rate,
+        flight=args.flight, export_dir=args.export_dir or None))
     print(render_table(f"fault plan (seed={args.seed})", ["event"],
                        [[line] for line in report.plan_lines]))
     print()
@@ -293,6 +407,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(render_table(
             f"client population (N={args.population})", ["stat", "value"],
             _population_rows(report.population_stats)))
+        print()
+    if report.bundle:
+        print(f"postmortem bundle: {report.bundle}")
         print()
     if report.ok:
         print("invariants hold: no bad hits, all keys recovered, "
@@ -354,7 +471,8 @@ def cmd_observe(args: argparse.Namespace) -> int:
         resize="cycle" if args.fault == "resize" else None,
         population=args.population,
         population_rate=args.population_rate,
-        population_sample_rate=args.population_sample_rate))
+        population_sample_rate=args.population_sample_rate,
+        flight=args.flight))
 
     probe_series = [s for s in report.timeseries["series"]
                     if s["name"].startswith("cliquemap_probe_ops_total")]
@@ -402,6 +520,8 @@ def cmd_observe(args: argparse.Namespace) -> int:
             _population_rows(report.population_stats)))
     for path in report.exports:
         print(f"wrote {path}")
+    if report.bundle:
+        print(f"postmortem bundle: {report.bundle}")
 
     if not report.ok:
         print("FAIL: soak invariants violated")
@@ -425,6 +545,15 @@ def cmd_perf(args: argparse.Namespace) -> int:
 
     if args.mode == "profile":
         return cmd_perf_profile(args)
+    if args.mode == "history":
+        from ..analysis import perf_history
+        history = perf_history(args.root)
+        print(history["rendered"])
+        if history["regressions"]:
+            print(f"FAIL: {len(history['regressions'])} metric(s) under "
+                  f"their recorded floors")
+            return 1
+        return 0
     result = run_multiget_benchmark(num_keys=args.keys,
                                     transport=args.transport,
                                     value_bytes=args.value_bytes,
@@ -523,7 +652,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also render the span tree of the last operation")
     p.set_defaults(func=cmd_metrics)
 
-    p = sub.add_parser("trace", help="synthesize/replay op traces")
+    p = sub.add_parser("trace",
+                       help="synthesize/replay op traces; stitch and "
+                            "query distributed traces and flight "
+                            "recorders (--stitch / --flight / "
+                            "--federation-demo)")
     p.add_argument("--input", help="trace file to replay")
     p.add_argument("--output", help="write a synthesized trace here")
     p.add_argument("--ops", type=int, default=2000)
@@ -531,6 +664,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--get-fraction", type=float, default=0.95)
     p.add_argument("--time-scale", type=float, default=1.0)
     p.add_argument("--seed", type=int, default=1)
+    # Distributed-trace tooling (repro.analysis.stitch). These modes
+    # leave the legacy synthesize/replay path as the default.
+    p.add_argument("--stitch", default="",
+                   help="stitch per-zone span trees from a JSON file (a "
+                        "'zones' map as written by --save, or a "
+                        "postmortem bundle's traces.json) and "
+                        "pretty-print them")
+    p.add_argument("--flight", default="",
+                   help="print a flight-recorder dump (a bundle dir or "
+                        "its flight.json); combine with --kind/--origin/"
+                        "--last")
+    p.add_argument("--federation-demo", action="store_true",
+                   help="run a small sharded federation with tracing on, "
+                        "stitch the per-zone traces, and pretty-print "
+                        "cross-zone op journeys")
+    p.add_argument("--zones", type=int, default=2,
+                   help="federation demo: number of zones")
+    p.add_argument("--duration", type=float, default=0.08,
+                   help="federation demo: simulated seconds of workload")
+    p.add_argument("--save", default="",
+                   help="federation demo: also write the raw per-zone "
+                        "span trees to this JSON path (input for "
+                        "--stitch)")
+    p.add_argument("--assert-cross-zone", action="store_true",
+                   help="federation demo: exit non-zero unless a "
+                        "stitched trace crosses zones")
+    p.add_argument("--zone", default="",
+                   help="filter: only traces touching this zone")
+    p.add_argument("--op", default="",
+                   help="filter: only traces containing this span name "
+                        "or op label (e.g. 'fed.get')")
+    p.add_argument("--min-latency", type=float, default=None,
+                   help="filter: only traces at least this long "
+                        "(simulated seconds)")
+    p.add_argument("--errors-only", action="store_true",
+                   help="filter: only traces containing an error status")
+    p.add_argument("--limit", type=int, default=3,
+                   help="pretty-print at most this many traces")
+    p.add_argument("--out", default="",
+                   help="write the stitched traces as a Perfetto/Chrome "
+                        "trace-event JSON (flow arrows across zones)")
+    p.add_argument("--kind", default="",
+                   help="flight query: only events of this kind")
+    p.add_argument("--origin", default="",
+                   help="flight query: only events whose origin contains "
+                        "this substring")
+    p.add_argument("--last", type=int, default=None,
+                   help="flight query: only the last N matching events")
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("chaos",
@@ -553,6 +734,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "under traffic) instead of the seeded random plan")
     p.add_argument("--transport", default="pony",
                    choices=["pony", "1rma", "rdma"])
+    p.add_argument("--flight", action="store_true",
+                   help="arm the cell's flight recorder (its event ring "
+                        "lands in the postmortem bundle on failure)")
+    p.add_argument("--export-dir", default="",
+                   help="write a postmortem bundle here if the soak "
+                        "ends badly ('' = no bundle)")
     _add_population_args(p)
     p.set_defaults(func=cmd_chaos)
 
@@ -585,6 +772,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(e.g. 'availability')")
     p.add_argument("--assert-no-alerts", action="store_true",
                    help="exit non-zero if any alert fired")
+    p.add_argument("--flight", action="store_true",
+                   help="arm the cell's flight recorder; its event ring "
+                        "lands in the postmortem bundle when an alert "
+                        "fires or an invariant breaks")
     _add_population_args(p)
     p.set_defaults(func=cmd_observe)
 
@@ -593,10 +784,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "writes BENCH_multiget.json) or 'profile' to "
                             "run a workload under cProfile")
     p.add_argument("mode", nargs="?", default="multiget",
-                   choices=["multiget", "profile"],
+                   choices=["multiget", "profile", "history"],
                    help="'multiget' (default) measures batched-vs-"
                         "singleton; 'profile' prints top-N cProfile hot "
-                        "spots of a scale workload")
+                        "spots of a scale workload; 'history' renders "
+                        "every BENCH_*.json as one perf-trajectory table "
+                        "and fails if any metric is under its floor")
     p.add_argument("--keys", type=int, default=32)
     p.add_argument("--value-bytes", type=int, default=128)
     p.add_argument("--shards", type=int, default=6)
@@ -623,6 +816,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--parallel-duration", type=float, default=0.2,
                    help="profile mode with --parallel: simulated seconds "
                         "of federated workload to profile")
+    p.add_argument("--root", default=".",
+                   help="history mode: directory holding the "
+                        "BENCH_*.json files")
     p.set_defaults(func=cmd_perf)
 
     p = sub.add_parser("model-check",

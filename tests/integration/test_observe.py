@@ -76,7 +76,12 @@ def test_soak_exports_timeseries_and_trace(tmp_path):
                                  export_dir=str(tmp_path), **SOAK_KWARGS))
     ts_path = tmp_path / "timeseries.json"
     trace_path = tmp_path / "trace.json"
-    assert sorted(report.exports) == [str(ts_path), str(trace_path)]
+    # The partition fires the availability alert, so this soak also
+    # leaves a postmortem bundle next to the flat exports (PR 10).
+    bundle_path = tmp_path / "postmortem-slo-alert"
+    assert sorted(report.exports) == [str(bundle_path), str(ts_path),
+                                      str(trace_path)]
+    assert report.bundle == str(bundle_path)
 
     doc = json.loads(ts_path.read_text())
     assert doc["scrapes"] == report.sli["scrapes"]

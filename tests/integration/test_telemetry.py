@@ -51,12 +51,27 @@ def test_2xr_get_spans_reach_the_backend(transport):
     _cell, result = run_traced_get(transport)
     root = result.trace.root
 
-    # Quorum of R=3 index fetches under the index phase.
-    index_reads = [s for s in root.find("index").find_all("transport.read")
+    # R=3 index fetches, all retained in the tree. The quorum (2) that
+    # settled the phase stays under it; the abandoned third leg, still
+    # in flight when the phase closed, is hoisted to the root
+    # (reparent-on-close) instead of freezing an interval that pretends
+    # to contain it.
+    index_reads = [s for s in root.find_all("transport.read")
                    if s.labels.get("kind") == "index"]
     assert len(index_reads) == 3
-    # The speculative data fetch launched before the quorum settles is
-    # recorded under the index phase that initiated it.
+    in_phase = [s for s in root.find("index").find_all("transport.read")
+                if s.labels.get("kind") == "index"]
+    assert len(in_phase) >= 2
+    hoisted = [s for s in index_reads
+               if s.labels.get("hoisted_from") == "index"]
+    assert len(index_reads) - len(in_phase) == len(hoisted)
+    # Reads that remain under the index phase are contained by it.
+    phase = root.find("index")
+    assert all(phase.start <= s.start and s.end <= phase.end
+               for s in in_phase)
+    # The speculative data fetch launched before the quorum settles
+    # starts under the index phase that initiated it (and is hoisted
+    # with it if it outlives the phase).
     assert any(s.labels.get("kind") == "data"
                for s in root.find_all("transport.read"))
 

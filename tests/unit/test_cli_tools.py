@@ -94,3 +94,67 @@ def test_perf_command(capsys, tmp_path):
     data = json.loads(out_path.read_text())
     assert data["benchmark"] == "multiget"
     assert data["engine_cpu_speedup"] >= 2.0
+
+
+def test_perf_history_command(capsys, tmp_path):
+    import json
+    (tmp_path / "BENCH_kernel.json").write_text(json.dumps({
+        "benchmark": "kernel", "floor_events_per_sec": 10.0,
+        "new": {"events_per_sec": 100.0},
+        "legacy": {"events_per_sec": 50.0}}))
+    assert main(["perf", "history", "--root", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "perf trajectory" in out
+    assert "events_per_sec" in out
+    # A metric under its floor turns the exit code red.
+    (tmp_path / "BENCH_kernel.json").write_text(json.dumps({
+        "benchmark": "kernel", "floor_events_per_sec": 1000.0,
+        "new": {"events_per_sec": 100.0},
+        "legacy": {"events_per_sec": 50.0}}))
+    assert main(["perf", "history", "--root", str(tmp_path)]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_trace_federation_demo_stitch_and_flight(tmp_path, capsys):
+    import json
+    save = tmp_path / "zones.json"
+    perfetto = tmp_path / "stitched.json"
+    assert main(["trace", "--federation-demo", "--zones", "2",
+                 "--duration", "0.08", "--assert-cross-zone",
+                 "--save", str(save), "--out", str(perfetto)]) == 0
+    out = capsys.readouterr().out
+    assert "stitched" in out and "cross-zone" in out
+    assert "fed.get" in out or "fed.set" in out
+    doc = json.loads(save.read_text())
+    assert doc["zones"] and sorted(doc["zones"]) == ["dc-a", "dc-b"]
+    assert json.loads(perfetto.read_text())["traceEvents"]
+
+    # Offline re-stitch of the saved zone traces, with filters.
+    assert main(["trace", "--stitch", str(save), "--zone", "dc-b",
+                 "--limit", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "after filters" in out and "cross-zone" in out
+    assert "[  dc-b]" in out
+
+    # Flight query over a postmortem bundle.
+    from repro.telemetry import FlightRecorder
+    from repro.observe.postmortem import write_postmortem_bundle
+    clock = lambda: 1.5  # noqa: E731
+    flight = FlightRecorder(clock, capacity=8)
+    flight.record("fault", origin="fault-injector", fault="partition")
+    flight.record("op", origin="client-0", op="get", status="hit")
+    bundle = write_postmortem_bundle(str(tmp_path), "unit", flight=flight)
+    assert main(["trace", "--flight", bundle, "--kind", "fault"]) == 0
+    out = capsys.readouterr().out
+    assert "fault-injector" in out and "client-0" not in out
+
+
+def test_chaos_flight_export_healthy_no_bundle(tmp_path, capsys):
+    assert main(["chaos", "--seed", "1", "--duration", "0.4",
+                 "--settle", "0.8", "--flight",
+                 "--export-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "invariants hold" in out
+    assert "postmortem bundle" not in out
+    from repro.observe.postmortem import find_bundles
+    assert find_bundles(str(tmp_path)) == []
